@@ -1,0 +1,113 @@
+"""Ablation — which s2l rewrite buys how much (design-choice study).
+
+DESIGN.md calls out the s2l optimiser as the scalability fix (§IV-E).
+This ablation runs the Fig. 11 compiled test with each rewrite enabled
+in isolation:
+
+* GOT-load folding (``ADRP; LDR; LDR/STR ⇝ ADRP; LDR/STR``) removes one
+  read event per shared access — the paper's headline rewrite;
+* stack spill forwarding removes the -O0 reload reads *and* the spill
+  writes (reads multiply rf choices, writes multiply co permutations);
+* dead-MOVADDR cleanup is cosmetic for event counts but shrinks the
+  test (LoC matters for herd's front-end too).
+
+Outcome soundness is asserted for every configuration.
+"""
+
+from benchmarks._report import banner, row
+
+from repro.compiler import make_profile
+from repro.herd import Budget, simulate_asm
+from repro.papertests import fig11_lb3
+from repro.tools import S2LStats, compile_and_disassemble, prepare
+from repro.tools.s2l import (
+    drop_dead_movaddr,
+    fold_got_loads,
+    forward_stack_traffic,
+    parse_thread,
+)
+from repro.tools.s2l import assembly_to_litmus
+from repro.asm import AsmThread
+
+
+def _with_passes(c2s, prepared, passes):
+    """Build the asm litmus applying only the given rewrites."""
+    base = assembly_to_litmus(c2s.obj, prepared.condition,
+                              listing=c2s.listing, optimise=False)
+    stats = S2LStats()
+    threads = []
+    for thread in base.threads:
+        instrs = list(thread.instructions)
+        for p in passes:
+            if p is fold_got_loads:
+                instrs = p(instrs, c2s.obj, stats)
+            else:
+                instrs = p(instrs, stats)
+        threads.append(AsmThread(thread.name, tuple(instrs),
+                                 thread.observed, thread.addr_env))
+    import dataclasses
+
+    return dataclasses.replace(base, threads=tuple(threads)), stats
+
+
+def test_bench_ablation_s2l(benchmark):
+    profile = make_profile("llvm", "-O0", "aarch64")
+    prepared = prepare(fig11_lb3())
+    c2s = compile_and_disassemble(prepared, profile)
+
+    configs = {
+        "none": [],
+        "got-folding only": [fold_got_loads],
+        "spill-forwarding only": [forward_stack_traffic],
+        "dead-movaddr only": [drop_dead_movaddr],
+        "all three": [fold_got_loads, forward_stack_traffic, drop_dead_movaddr],
+    }
+
+    budget = Budget(max_candidates=10_000_000)
+    observables = sorted(prepared.init)
+
+    def event_count(litmus):
+        from repro.asm import elaborate_asm
+
+        return sum(
+            len(path.templates)
+            for program in elaborate_asm(litmus)
+            for path in program.paths
+        )
+
+    def run_all():
+        results = {}
+        for name, passes in configs.items():
+            litmus, stats = _with_passes(c2s, prepared, passes)
+            sim = simulate_asm(litmus, budget=Budget(max_candidates=10_000_000))
+            results[name] = (stats.total_removed, sim, event_count(litmus))
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    banner("Ablation: s2l rewrites on the Fig. 11 -O0 compiled test")
+    baseline_outcomes = {
+        o.project(observables) for o in results["none"][1].outcomes
+    }
+    base_candidates = results["none"][1].stats.candidates
+    base_events = results["none"][2]
+    for name, (removed, sim, events) in results.items():
+        projected = {o.project(observables) for o in sim.outcomes}
+        row(f"{name}",
+            "fewer events/candidates, same outcomes",
+            f"removed={removed:2d} events={events:2d} "
+            f"candidates={sim.stats.candidates:4d} "
+            f"time={sim.stats.elapsed_seconds*1000:6.1f} ms")
+        assert projected == baseline_outcomes, f"{name} changed outcomes"
+
+    # The two rewrites attack different axes of the explosion:
+    # GOT folding removes single-writer read events — each has one rf
+    # choice, so it cuts model-evaluation cost (event count), not the
+    # candidate count; spill forwarding removes reload reads with TWO rf
+    # choices each, so it collapses the candidate space.
+    assert results["got-folding only"][2] < base_events
+    assert results["got-folding only"][1].stats.candidates == base_candidates
+    assert results["spill-forwarding only"][1].stats.candidates < base_candidates
+    assert (results["all three"][1].stats.candidates
+            <= results["spill-forwarding only"][1].stats.candidates)
+    assert results["all three"][2] < results["spill-forwarding only"][2]

@@ -1,0 +1,38 @@
+"""Fig. 2 / Fig. 3 — candidate executions and outcomes of the Fig. 1 test.
+
+Paper claim: the Fig. 1 program has four candidate executions whose
+RC11-allowed outcomes are the three of Fig. 3 (``dabc`` and its outcome
+``{P1:r0=0; y=2}`` are forbidden).
+"""
+
+from benchmarks._report import banner, row
+
+from repro.herd import EnumerationStats, enumerate_candidates, simulate_c
+from repro.lang.semantics import elaborate
+from repro.papertests import fig1_exchange
+
+
+def test_bench_fig2_executions(benchmark):
+    litmus = fig1_exchange()
+
+    def enumerate_all():
+        stats = EnumerationStats()
+        programs = elaborate(litmus)
+        candidates = list(
+            enumerate_candidates(dict(litmus.init), programs, stats=stats)
+        )
+        return candidates, stats
+
+    candidates, stats = benchmark(enumerate_all)
+    result = simulate_c(litmus, "rc11")
+    outcomes = sorted(str(o) for o in result.outcomes)
+
+    banner("Fig. 2/3: executions and RC11 outcomes of the Fig. 1 program")
+    row("rf assignments explored", "4 executions shown", str(stats.rf_assignments))
+    row("RC11-allowed outcomes", "3 (Fig. 3)", str(len(outcomes)))
+    for outcome in outcomes:
+        print(f"    {outcome}")
+    row("forbidden outcome excluded", "{P1:r0=0; y=2}",
+        str(not result.condition_holds(litmus.condition)))
+    assert len(outcomes) == 3
+    assert not result.condition_holds(litmus.condition)

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Regression testing, the way the paper deploys it at Arm (§IV-F).
+
+Two industry flows on top of the same tool-chain:
+
+1. **Nightly differential campaign** (paper Table IV, scaled): a diy
+   suite crossed with compilers × flags × architectures; the per-cell
+   positive/negative counts form the regression dashboard.
+
+2. **Evaluating a code-generation proposal** (the Google LDAPR query
+   [57]): compile the acquire suite with the proposed mapping, compare
+   outcomes against the C/C++ oracle — accept if no positive differences
+   appear.
+
+Run:  python examples/regression_campaign.py
+"""
+
+from repro.compiler import make_profile
+from repro.core.events import MemoryOrder
+from repro.pipeline import test_compilation
+from repro.pipeline.campaign import run_campaign
+from repro.tools.diy import DiyConfig, generate
+
+
+def nightly_campaign() -> None:
+    print("== nightly differential campaign (Table IV, scaled) ==\n")
+    config = DiyConfig(
+        shapes=("MP", "LB", "SB", "S", "R"),
+        orders=("rlx",),
+        fences=(None, MemoryOrder.SC),
+        deps=("po", "data", "ctrl2"),
+        variants=("load-store",),
+    )
+    report = run_campaign(
+        config=config,
+        arches=("aarch64", "armv7", "riscv64", "ppc64", "x86_64", "mips64"),
+        opts=("-O1", "-O2"),
+        compilers=("llvm", "gcc"),
+        source_model="rc11",
+    )
+    print(report.table())
+    print("\npositives drill-down (first 8):")
+    for test, arch, opt, compiler in report.positives[:8]:
+        print(f"  {test:12s} {compiler}{opt} -> {arch}")
+    print("\nre-run under rc11+lb (ISO C/C++ permits load buffering):")
+    relaxed = run_campaign(
+        config=config,
+        arches=("aarch64", "armv7", "riscv64", "ppc64"),
+        opts=("-O1", "-O2"),
+        compilers=("llvm", "gcc"),
+        source_model="rc11+lb",
+    )
+    print(f"  positive differences: {relaxed.total_positive()} "
+          "(all vanish — artefact Claim 4)")
+
+
+def ldapr_proposal() -> None:
+    print("\n== evaluating the LDAPR proposal (§IV-F, [57]) ==\n")
+    suite = generate(DiyConfig(
+        shapes=("MP", "LB", "SB", "S", "R"),
+        orders=("ar",),
+        fences=(None,),
+        deps=("po", "data"),
+        variants=("load-store",),
+    ))
+    ldar = make_profile("llvm", "-O2", "aarch64", rcpc=False)
+    ldapr = make_profile("llvm", "-O2", "aarch64", rcpc=True)
+    positives = 0
+    weaker = 0
+    for litmus in suite:
+        baseline = test_compilation(litmus, ldar)
+        proposal = test_compilation(litmus, ldapr)
+        if proposal.found_bug:
+            positives += 1
+        if (baseline.comparison.target_outcomes
+                < proposal.comparison.target_outcomes):
+            weaker += 1
+    print(f"  acquire suite size          : {len(suite)}")
+    print(f"  positive differences (LDAPR): {positives}")
+    print(f"  tests with extra (allowed) outcomes: {weaker}")
+    verdict = "ACCEPT" if positives == 0 else "REJECT"
+    print(f"  proposal verdict            : {verdict} — matches the paper: "
+          "Arm's compiler team accepted the change based on this testing")
+
+
+if __name__ == "__main__":
+    nightly_campaign()
+    ldapr_proposal()

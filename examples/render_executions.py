@@ -1,0 +1,24 @@
+#!/usr/bin/env python3
+"""Render candidate executions as Graphviz graphs (the paper's Fig. 2).
+
+Simulates the paper's Fig. 1 test under RC11 keeping the allowed
+executions, and writes a DOT file with one cluster per execution —
+node labels and edge colours follow herd's conventions.  Render with:
+
+    python examples/render_executions.py > fig2.dot
+    dot -Tpng fig2.dot -o fig2.png
+"""
+
+from repro.herd import simulate_c, simulation_to_dot
+from repro.papertests import fig1_exchange
+
+
+def main() -> None:
+    litmus = fig1_exchange()
+    result = simulate_c(litmus, "rc11", keep_executions=True)
+    print(simulation_to_dot(result.executions, name="fig2",
+                            relations=("po", "rf", "co", "fr", "rmw")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Reproduction of *Compiler Testing with Relaxed Memory Models* (CGO 2024).
+
+The T´el´echat compiler-testing technique and every substrate it depends
+on, in pure Python:
+
+* :mod:`repro.core` — events, relations, executions, litmus conditions;
+* :mod:`repro.cat` — the Cat model language and the shipped memory models;
+* :mod:`repro.lang` — the C11 litmus front-end;
+* :mod:`repro.herd` — the axiomatic simulator;
+* :mod:`repro.asm` — per-ISA assembly syntax and semantics;
+* :mod:`repro.compiler` — the miniature C11-atomics compiler;
+* :mod:`repro.tools` — diy, l2c, c2s, s2l, mcompare;
+* :mod:`repro.pipeline` — the test_tv driver, campaign runner and CLI;
+* :mod:`repro.hw` — operational hardware simulation;
+* :mod:`repro.baselines` — C4, cmmtest, validc;
+* :mod:`repro.papertests` — the paper's figure tests, verbatim.
+
+Entry points:
+
+>>> from repro.lang import parse_c_litmus
+>>> from repro.compiler import make_profile
+>>> from repro.pipeline import test_compilation
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,19 @@
+"""Assembly litmus tests: per-ISA syntax, unified semantics, event generation."""
+
+from .isa.base import Instruction, Isa, IsaError, Op, get_isa, list_isas
+from .litmus import AsmLitmus, AsmThread, total_instructions
+from .semantics import AsmThreadElaborator, elaborate_asm
+
+__all__ = [
+    "Instruction",
+    "Isa",
+    "IsaError",
+    "Op",
+    "get_isa",
+    "list_isas",
+    "AsmLitmus",
+    "AsmThread",
+    "total_instructions",
+    "AsmThreadElaborator",
+    "elaborate_asm",
+]

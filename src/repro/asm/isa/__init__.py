@@ -1,0 +1,13 @@
+"""Per-architecture instruction syntax modules."""
+
+from .base import Instruction, Isa, IsaError, Op, get_isa, list_isas, register_isa
+
+__all__ = [
+    "Instruction",
+    "Isa",
+    "IsaError",
+    "Op",
+    "get_isa",
+    "list_isas",
+    "register_isa",
+]

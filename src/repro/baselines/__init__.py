@@ -1,0 +1,17 @@
+"""State-of-the-art baselines: C4, cmmtest, validc (paper Table I)."""
+
+from .c4 import C4Result, c4_test
+from .cmmtest import CmmtestResult, CmmtestWarning, cmmtest_check
+from .irsim import elaborate_ir
+from .validc import ValidcResult, validc_check
+
+__all__ = [
+    "C4Result",
+    "c4_test",
+    "CmmtestResult",
+    "CmmtestWarning",
+    "cmmtest_check",
+    "elaborate_ir",
+    "ValidcResult",
+    "validc_check",
+]

@@ -1,0 +1,96 @@
+"""The C4 baseline [49][76][77]: hardware-backed metamorphic testing.
+
+C4's test relation (paper §II-C)::
+
+    outcomes(litmus(comp(S), hardware))  ⊆  outcomes(herd(S, M_S))   (testC4)
+
+The *only* difference from T´el´echat's test_tv is the left-hand side:
+C4 collects compiled outcomes by running on silicon, T´el´echat by
+simulating under the architecture model.  That one change makes C4
+nondeterministic and incomplete — a chip that cannot (or rarely does)
+exhibit a behaviour hides the bug (the Fig. 7 load-buffering miss on the
+Raspberry Pi), which this module reproduces end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Union
+
+from ..compiler.profiles import CompilerProfile
+from ..core.execution import Outcome
+from ..herd.enumerate import Budget
+from ..herd.simulator import simulate_c
+from ..hw.chips import ChipSpec, get_chip
+from ..hw.simulator import HardwareRunResult, run_on_hardware
+from ..lang.ast import CLitmus
+from ..tools.c2s import compile_and_disassemble
+from ..tools.l2c import prepare
+from ..tools.mcompare import StateMapping, default_mapping
+from ..tools.s2l import assembly_to_litmus
+
+
+@dataclass
+class C4Result:
+    """One C4 test: hardware histogram vs source-model oracle."""
+
+    test_name: str
+    chip: ChipSpec
+    hardware: HardwareRunResult
+    source_outcomes: FrozenSet[Outcome]
+    #: hardware outcomes not allowed by the source model: C4's bug signal
+    observed_positive: FrozenSet[Outcome]
+    #: architecture-model outcomes the hardware never produced — bugs C4
+    #: can never flag on this chip/seed (T´el´echat finds these)
+    missed_behaviours: FrozenSet[Outcome]
+
+    @property
+    def found_bug(self) -> bool:
+        return bool(self.observed_positive)
+
+    @property
+    def deterministic(self) -> bool:
+        """C4 is only deterministic when the chip shows everything it can
+        show on every campaign — which silicon does not guarantee."""
+        return not self.hardware.missed
+
+
+def c4_test(
+    litmus: CLitmus,
+    profile: CompilerProfile,
+    chip: Union[str, ChipSpec] = "raspberry-pi",
+    runs: int = 200,
+    seed: int = 0,
+    stress: bool = False,
+    source_model: str = "rc11",
+    budget: Optional[Budget] = None,
+) -> C4Result:
+    """Run one testC4 campaign.
+
+    The compiled program is produced by the same tool-chain T´el´echat
+    uses (C4 also compiles with the system compiler); only the *test
+    environment* differs: simulated silicon instead of the architecture
+    model.
+    """
+    spec = get_chip(chip) if isinstance(chip, str) else chip
+    prepared = prepare(litmus, augment=True)
+    c2s = compile_and_disassemble(prepared, profile)
+    compiled = assembly_to_litmus(c2s.obj, prepared.condition, listing=c2s.listing)
+    hardware = run_on_hardware(
+        compiled, spec, runs=runs, seed=seed, stress=stress, budget=budget
+    )
+    source = simulate_c(prepared, source_model, budget=budget)
+    mapping = default_mapping(
+        list(prepared.init), prepared.condition.observables()
+    )
+    source_set = frozenset(mapping.apply(o) for o in source.outcomes)
+    observed = frozenset(mapping.apply(o) for o in hardware.observed)
+    allowed = frozenset(mapping.apply(o) for o in hardware.architecturally_allowed)
+    return C4Result(
+        test_name=litmus.name,
+        chip=spec,
+        hardware=hardware,
+        source_outcomes=source_set,
+        observed_positive=observed - source_set,
+        missed_behaviours=allowed - observed - source_set,
+    )

@@ -1,0 +1,163 @@
+"""The cmmtest baseline [65]: execution matching, expert required.
+
+cmmtest checks that the (hardware) execution of an *optimised* program
+embeds into an execution of the *unoptimised* program — eliminated or
+reordered events signal a potential miscompilation, which a concurrency
+expert must then turn into a reproducer.
+
+We reproduce the two properties the paper's Table I records:
+
+* cmmtest emits **warnings**, not verdicts — it is semi-automatic;
+* per Morisset et al.'s claim that "optimisations affecting only the
+  thread-local state cannot induce concurrency compiler bugs", warnings
+  about *deleted thread-local data* are suppressed — exactly the blind
+  spot (§IV-B) that lets the Fig. 1 / Fig. 10 bug family through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..asm.litmus import AsmLitmus
+from ..compiler.profiles import CompilerProfile, make_profile
+from ..lang.ast import CLitmus
+from ..tools.c2s import compile_and_disassemble
+from ..tools.l2c import prepare
+from ..tools.s2l import assembly_to_litmus
+from ..asm.isa.base import Instruction, Op
+
+#: instruction kinds that touch shared memory
+_MEMORY_OPS = (Op.LOAD, Op.STORE, Op.LOADPAIR, Op.STOREPAIR, Op.AMO, Op.LDX, Op.STX)
+
+
+@dataclass(frozen=True)
+class AccessSummary:
+    """A thread's shared-memory access trace: (kind, location) pairs."""
+
+    thread: str
+    accesses: Tuple[Tuple[str, str], ...]
+
+
+@dataclass
+class CmmtestWarning:
+    """A potential miscompilation for an expert to investigate."""
+
+    thread: str
+    kind: str       # "eliminated" | "reordered" | "introduced"
+    detail: str
+
+
+@dataclass
+class CmmtestResult:
+    test_name: str
+    warnings: List[CmmtestWarning] = field(default_factory=list)
+    #: warnings suppressed by the thread-local-optimisations-are-safe
+    #: assumption cmmtest makes (the paper refutes it)
+    suppressed: List[CmmtestWarning] = field(default_factory=list)
+
+    @property
+    def needs_expert(self) -> bool:
+        return bool(self.warnings)
+
+
+def _trace(litmus: AsmLitmus, thread_name: str) -> AccessSummary:
+    thread = next(t for t in litmus.threads if t.name == thread_name)
+    accesses: List[Tuple[str, str]] = []
+    for instr in thread.instructions:
+        if instr.op not in _MEMORY_OPS:
+            continue
+        # resolve the access location statically where possible
+        loc = None
+        if instr.addr_reg in thread.addr_env:
+            loc = thread.addr_env[instr.addr_reg]
+        if loc is None:
+            loc = _nearest_symbol(thread.instructions, instr)
+        if loc is None or litmus.is_private(loc):
+            continue  # cmmtest observes shared traffic only
+        kind = "W" if instr.op in (Op.STORE, Op.STOREPAIR, Op.STX) else (
+            "RMW" if instr.op is Op.AMO else "R"
+        )
+        accesses.append((kind, loc))
+    return AccessSummary(thread=thread_name, accesses=tuple(accesses))
+
+
+def _nearest_symbol(
+    instructions: Sequence[Instruction], access: Instruction
+) -> Optional[str]:
+    """Walk back to the address materialisation feeding this access."""
+    index = instructions.index(access)
+    for earlier in reversed(instructions[:index]):
+        if earlier.op is Op.MOVADDR and earlier.dst == access.addr_reg:
+            return earlier.symbol
+        if earlier.dst == access.addr_reg and earlier.op is not Op.LOAD:
+            return None
+    return None
+
+
+def _is_subsequence(small: Sequence, big: Sequence) -> bool:
+    it = iter(big)
+    return all(item in it for item in small)
+
+
+def cmmtest_check(
+    litmus: CLitmus,
+    profile: CompilerProfile,
+    reference_opt: str = "-O0",
+) -> CmmtestResult:
+    """Compare the optimised compilation against the -O0 reference.
+
+    Emits a warning when the optimised shared-access trace of a thread is
+    not a subsequence of the reference trace (eliminated/reordered
+    accesses) — and *suppresses* warnings that concern only thread-local
+    data, reproducing the [65] blind spot.
+    """
+    # NB: cmmtest does not augment locals — that is T´el´echat's fix
+    prepared = prepare(litmus, augment=False)
+    reference_profile = make_profile(
+        profile.compiler, reference_opt, profile.arch, version=profile.version
+    )
+    result = CmmtestResult(test_name=litmus.name)
+    reference = _compile_to_litmus(prepared, reference_profile)
+    optimised = _compile_to_litmus(prepared, profile)
+    for thread in prepared.threads:
+        ref_trace = _trace(reference, thread.name)
+        opt_trace = _trace(optimised, thread.name)
+        if _is_subsequence(opt_trace.accesses, ref_trace.accesses):
+            continue
+        missing = [
+            access for access in ref_trace.accesses
+            if access not in opt_trace.accesses
+        ]
+        warning = CmmtestWarning(
+            thread=thread.name,
+            kind="eliminated" if missing else "reordered",
+            detail=(
+                f"reference trace {ref_trace.accesses} vs optimised "
+                f"{opt_trace.accesses}"
+            ),
+        )
+        result.warnings.append(warning)
+    # the blind spot: differences visible only through deleted locals
+    ref_regs = {
+        t.name: set(t.observed.values()) for t in reference.threads
+    }
+    for thread in optimised.threads:
+        lost = ref_regs.get(thread.name, set()) - set(thread.observed.values())
+        if lost:
+            result.suppressed.append(
+                CmmtestWarning(
+                    thread=thread.name,
+                    kind="local-deleted",
+                    detail=(
+                        f"locals {sorted(lost)} no longer observable — "
+                        f"suppressed per the thread-local-safety claim [65]"
+                    ),
+                )
+            )
+    return result
+
+
+def _compile_to_litmus(prepared: CLitmus, profile: CompilerProfile) -> AsmLitmus:
+    c2s = compile_and_disassemble(prepared, profile)
+    return assembly_to_litmus(c2s.obj, prepared.condition, listing=c2s.listing)

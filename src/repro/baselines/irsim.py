@@ -1,0 +1,215 @@
+"""Symbolic simulation of IR programs (the validc substrate).
+
+``validc`` [22] matches the bounded executions of *optimised LLVM IR*
+against unoptimised IR under a C11-style model.  To reproduce that, we
+give our IR the same symbolic semantics the C front-end has: each IR
+function elaborates to thread paths over event templates, which the herd
+enumerator then turns into executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..compiler.ir import IRFunction, IRInstr, IROp, IRProgram
+from ..core.errors import SimulationError
+from ..core.events import EventKind, MemoryOrder
+from ..core.expr import BinOp, Const, Expr, ReadVal, is_constant
+from ..herd.templates import EventTemplate, PathConstraint, ThreadPath, ThreadProgram
+
+_RMW_OPS = {
+    "add": lambda old, v: BinOp("+", old, v),
+    "sub": lambda old, v: BinOp("-", old, v),
+    "or": lambda old, v: BinOp("|", old, v),
+    "and": lambda old, v: BinOp("&", old, v),
+    "xor": lambda old, v: BinOp("^", old, v),
+    "swap": lambda old, v: v,
+}
+
+_RMW_SPLIT = {
+    MemoryOrder.NA: (MemoryOrder.NA, MemoryOrder.NA),
+    MemoryOrder.RLX: (MemoryOrder.RLX, MemoryOrder.RLX),
+    MemoryOrder.CON: (MemoryOrder.CON, MemoryOrder.RLX),
+    MemoryOrder.ACQ: (MemoryOrder.ACQ, MemoryOrder.RLX),
+    MemoryOrder.REL: (MemoryOrder.RLX, MemoryOrder.REL),
+    MemoryOrder.ACQ_REL: (MemoryOrder.ACQ, MemoryOrder.REL),
+    MemoryOrder.SC: (MemoryOrder.SC, MemoryOrder.SC),
+}
+
+_COND_OPS = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+
+#: step bound: the analogue of herd's loop unroll factor.
+_STEP_BUDGET = 256
+
+
+@dataclass
+class _IrState:
+    env: Dict[str, Expr]
+    templates: List[EventTemplate]
+    constraints: List[PathConstraint]
+    ctrl: frozenset
+    pc: int
+    steps: int
+    next_placeholder: int
+
+    def fork(self) -> "_IrState":
+        return _IrState(
+            env=dict(self.env),
+            templates=list(self.templates),
+            constraints=list(self.constraints),
+            ctrl=self.ctrl,
+            pc=self.pc,
+            steps=self.steps,
+            next_placeholder=self.next_placeholder,
+        )
+
+
+class IrElaborator:
+    """Explodes one IR function into thread paths."""
+
+    def __init__(self, fn: IRFunction, tid: int) -> None:
+        self.fn = fn
+        self.tid = tid
+        self.labels = fn.labels()
+
+    def run(self) -> ThreadProgram:
+        finished: List[_IrState] = []
+        work = [
+            _IrState(env={}, templates=[], constraints=[], ctrl=frozenset(),
+                     pc=0, steps=0, next_placeholder=0)
+        ]
+        while work:
+            state = work.pop()
+            while True:
+                if state.pc >= len(self.fn.body) or state.steps >= _STEP_BUDGET:
+                    finished.append(state)
+                    break
+                instr = self.fn.body[state.pc]
+                state.steps += 1
+                successors = self._step(instr, state)
+                if successors is None:
+                    continue
+                if not successors:
+                    finished.append(state)
+                    break
+                state = successors[0]
+                work.extend(successors[1:])
+        paths = tuple(
+            ThreadPath(
+                thread_name=self.fn.name,
+                templates=tuple(st.templates),
+                constraints=tuple(st.constraints),
+                finals={
+                    name: st.env.get(name, Const(0))
+                    for name in self.fn.observed_locals
+                },
+            )
+            for st in finished
+        )
+        return ThreadProgram(name=self.fn.name, tid=self.tid, paths=paths)
+
+    # ------------------------------------------------------------------ #
+    def _operand(self, state: _IrState, operand) -> Expr:
+        if isinstance(operand, int):
+            return Const(operand)
+        if operand in state.env:
+            return state.env[operand]
+        return Const(0)
+
+    def _step(self, instr: IRInstr, state: _IrState) -> Optional[List[_IrState]]:
+        op = instr.op
+        if op is IROp.LABEL:
+            state.pc += 1
+            return None
+        if op is IROp.RET:
+            return []
+        if op is IROp.BR:
+            state.pc = self.labels[instr.label]
+            return None
+        if op is IROp.CONST:
+            state.env[instr.dst] = Const(int(instr.a))  # type: ignore[arg-type]
+            state.pc += 1
+            return None
+        if op is IROp.BIN:
+            left = self._operand(state, instr.a)
+            right = self._operand(state, instr.b)
+            state.env[instr.dst] = BinOp(instr.bin_op, left, right).substitute({})
+            state.pc += 1
+            return None
+        if op is IROp.FENCE:
+            state.templates.append(
+                EventTemplate(kind=EventKind.FENCE, order=instr.order,
+                              ctrl_deps=state.ctrl)
+            )
+            state.pc += 1
+            return None
+        if op is IROp.LOAD:
+            placeholder = state.next_placeholder
+            state.next_placeholder += 1
+            state.templates.append(
+                EventTemplate(kind=EventKind.READ, loc=instr.loc,
+                              order=instr.order, placeholder=placeholder,
+                              ctrl_deps=state.ctrl, width=instr.width)
+            )
+            if instr.dst is not None:
+                state.env[instr.dst] = ReadVal(placeholder)
+            state.pc += 1
+            return None
+        if op is IROp.STORE:
+            state.templates.append(
+                EventTemplate(kind=EventKind.WRITE, loc=instr.loc,
+                              order=instr.order,
+                              value_expr=self._operand(state, instr.a),
+                              ctrl_deps=state.ctrl, width=instr.width)
+            )
+            state.pc += 1
+            return None
+        if op is IROp.RMW:
+            read_order, write_order = _RMW_SPLIT[instr.order]
+            placeholder = state.next_placeholder
+            state.next_placeholder += 1
+            state.templates.append(
+                EventTemplate(kind=EventKind.READ, loc=instr.loc,
+                              order=read_order, placeholder=placeholder,
+                              tags=frozenset({"RMW-R"}), ctrl_deps=state.ctrl,
+                              width=instr.width)
+            )
+            old: Expr = ReadVal(placeholder)
+            new = _RMW_OPS[instr.rmw_kind](old, self._operand(state, instr.a))
+            if not isinstance(new, Const):
+                new = new.substitute({})
+            state.templates.append(
+                EventTemplate(kind=EventKind.WRITE, loc=instr.loc,
+                              order=write_order, value_expr=new,
+                              tags=frozenset({"RMW-W"}), rmw_with_prev=True,
+                              ctrl_deps=state.ctrl, width=instr.width)
+            )
+            if instr.dst is not None:
+                state.env[instr.dst] = old
+            state.pc += 1
+            return None
+        if op is IROp.CBR:
+            left = self._operand(state, instr.a)
+            right = self._operand(state, instr.b)
+            cond = BinOp(_COND_OPS[instr.cond], left, right).substitute({})
+            target = self.labels[instr.label]
+            if is_constant(cond):
+                state.pc = target if cond.eval({}) else state.pc + 1
+                return [state]
+            taken = state.fork()
+            taken.constraints.append(PathConstraint(cond, True))
+            taken.ctrl = taken.ctrl | cond.reads()
+            taken.pc = target
+            state.constraints.append(PathConstraint(cond, False))
+            state.ctrl = state.ctrl | cond.reads()
+            state.pc += 1
+            return [state, taken]
+        raise SimulationError(f"cannot simulate IR instruction {instr!r}")
+
+
+def elaborate_ir(program: IRProgram) -> List[ThreadProgram]:
+    """Produce thread programs for every function of an IR program."""
+    return [
+        IrElaborator(fn, tid).run() for tid, fn in enumerate(program.functions)
+    ]

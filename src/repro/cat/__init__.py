@@ -1,0 +1,19 @@
+"""The mini Cat model-specification language and shipped memory models."""
+
+from .interp import CatEnv, CheckResult, Model, ModelResult
+from .parser import parse
+from .registry import arch_model, get_model, get_source, list_models
+from .stdlib import build_env
+
+__all__ = [
+    "CatEnv",
+    "CheckResult",
+    "Model",
+    "ModelResult",
+    "parse",
+    "arch_model",
+    "get_model",
+    "get_source",
+    "list_models",
+    "build_env",
+]

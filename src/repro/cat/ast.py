@@ -1,0 +1,126 @@
+"""AST for the mini Cat model-specification language.
+
+The Cat language (Alglave, Cousot, Maranget [2]) defines memory consistency
+models as constraints over relations.  We implement the subset the shipped
+models need:
+
+* expressions over relations and event sets:
+  ``|`` (union), ``&`` (intersection), ``\\`` (difference), ``;``
+  (composition), ``*`` (cartesian product of sets), ``~`` (complement),
+  postfix ``^+``/``^*``/``^-1``/``?``, identity brackets ``[S]``, and
+  function calls (``domain``, ``range``, ``fencerel``).
+* ``let`` (including ``let rec ... and ...``) bindings,
+* checks: ``acyclic e as name``, ``irreflexive e as name``,
+  ``empty e as name`` (and negated ``~empty``),
+* ``flag`` checks, which mark rather than forbid executions (used for data
+  races / undefined behaviour),
+* ``show``/``include`` statements (accepted and ignored).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+
+class CatExpr:
+    """Base class for Cat expressions."""
+
+
+@dataclass(frozen=True)
+class Name(CatExpr):
+    ident: str
+
+
+@dataclass(frozen=True)
+class EmptySet(CatExpr):
+    """The literal ``0`` / ``{}`` — an empty relation."""
+
+
+@dataclass(frozen=True)
+class Universe(CatExpr):
+    """The literal ``_`` — the set of all events."""
+
+
+@dataclass(frozen=True)
+class Bracket(CatExpr):
+    """``[S]`` — identity relation on the set S."""
+
+    inner: CatExpr
+
+
+@dataclass(frozen=True)
+class Binary(CatExpr):
+    """Binary operator: one of ``| & \\ ; *``."""
+
+    op: str
+    left: CatExpr
+    right: CatExpr
+
+
+@dataclass(frozen=True)
+class Postfix(CatExpr):
+    """Postfix operator: one of ``^+ ^* ^-1 ?``."""
+
+    op: str
+    inner: CatExpr
+
+
+@dataclass(frozen=True)
+class Complement(CatExpr):
+    """``~e`` — complement w.r.t. the universe (set or relation)."""
+
+    inner: CatExpr
+
+
+@dataclass(frozen=True)
+class Call(CatExpr):
+    """``f(e, ...)`` — builtin function application."""
+
+    func: str
+    args: Tuple[CatExpr, ...]
+
+
+class CatStmt:
+    """Base class for Cat statements."""
+
+
+@dataclass(frozen=True)
+class Let(CatStmt):
+    """``let [rec] n1 = e1 and n2 = e2 ...``"""
+
+    bindings: Tuple[Tuple[str, CatExpr], ...]
+    recursive: bool = False
+
+
+@dataclass(frozen=True)
+class Check(CatStmt):
+    """``acyclic|irreflexive|empty [~] expr as name`` (optionally flagged)."""
+
+    kind: str  # "acyclic" | "irreflexive" | "empty"
+    expr: CatExpr
+    name: str
+    negated: bool = False
+    flag: bool = False
+
+
+@dataclass(frozen=True)
+class Show(CatStmt):
+    """``show r`` — ignored (herd uses it for rendering)."""
+
+    names: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Include(CatStmt):
+    """``include "file.cat"`` — resolved against the model registry."""
+
+    path: str
+
+
+@dataclass(frozen=True)
+class CatModel:
+    """A parsed model: a header name plus a statement list."""
+
+    name: str
+    statements: Tuple[CatStmt, ...]

@@ -1,0 +1,267 @@
+"""Evaluator for Cat models over candidate executions.
+
+A :class:`Model` wraps parsed Cat statements.  :meth:`Model.evaluate` takes
+an environment (built by :mod:`repro.cat.stdlib` from an
+:class:`~repro.core.execution.Execution`) and returns a
+:class:`ModelResult`: whether the execution is *allowed* (all non-flag
+checks pass) plus any *flags* raised (e.g. data races → undefined
+behaviour, which callers treat as "any outcome permitted" rather than as a
+compiler bug — paper §IV-D).
+
+Values are either :class:`~repro.core.relations.Relation` or event sets
+(``frozenset[int]``); sets are coerced to identity relations where a
+relation is required, exactly as in herd's cat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+
+from ..core.errors import ModelError
+from ..core.relations import Relation
+from .ast import (
+    Binary,
+    Bracket,
+    Call,
+    CatExpr,
+    CatModel,
+    CatStmt,
+    Check,
+    Complement,
+    EmptySet,
+    Include,
+    Let,
+    Name,
+    Postfix,
+    Show,
+    Universe,
+)
+from .parser import parse
+
+Value = Union[Relation, FrozenSet[int]]
+
+
+@dataclass
+class CatEnv:
+    """The evaluation environment for one execution.
+
+    ``bindings`` maps names to values; ``universe`` is the full event-id
+    set (needed by ``^*``, ``?`` and ``~``); ``po`` is kept separately for
+    the ``fencerel`` builtin.
+    """
+
+    bindings: Dict[str, Value]
+    universe: FrozenSet[int]
+    po: Relation
+
+    def lookup(self, name: str) -> Value:
+        if name in self.bindings:
+            return self.bindings[name]
+        raise ModelError(f"unbound name {name!r} in cat model")
+
+    def child(self) -> "CatEnv":
+        return CatEnv(dict(self.bindings), self.universe, self.po)
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    name: str
+    kind: str
+    passed: bool
+    flag: bool
+
+
+@dataclass(frozen=True)
+class ModelResult:
+    """The verdict of a model on one candidate execution."""
+
+    allowed: bool
+    checks: Tuple[CheckResult, ...]
+    flags: Tuple[str, ...]
+
+    def failed_checks(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self.checks if not c.passed and not c.flag)
+
+
+def _as_relation(value: Value, universe: FrozenSet[int]) -> Relation:
+    if isinstance(value, Relation):
+        return value
+    return Relation.identity(value)
+
+
+def _as_set(value: Value) -> FrozenSet[int]:
+    if isinstance(value, frozenset):
+        return value
+    raise ModelError("expected an event set, got a relation")
+
+
+class Model:
+    """A compiled Cat model ready for evaluation."""
+
+    def __init__(self, ast: CatModel, name: Optional[str] = None) -> None:
+        self.ast = ast
+        self.name = name or ast.name or "anonymous"
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def from_source(source: str, name: Optional[str] = None) -> "Model":
+        return Model(parse(source), name=name)
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, env: CatEnv) -> ModelResult:
+        """Run every statement; collect check outcomes."""
+        env = env.child()
+        checks: List[CheckResult] = []
+        flags: List[str] = []
+        for stmt in self.ast.statements:
+            self._exec_stmt(stmt, env, checks, flags)
+        allowed = all(c.passed for c in checks if not c.flag)
+        return ModelResult(allowed=allowed, checks=tuple(checks), flags=tuple(flags))
+
+    # ------------------------------------------------------------------ #
+    def _exec_stmt(
+        self,
+        stmt: CatStmt,
+        env: CatEnv,
+        checks: List[CheckResult],
+        flags: List[str],
+    ) -> None:
+        if isinstance(stmt, Let):
+            if stmt.recursive:
+                self._eval_let_rec(stmt, env)
+            else:
+                for name, expr in stmt.bindings:
+                    env.bindings[name] = self._eval(expr, env)
+        elif isinstance(stmt, Check):
+            holds = self._run_check(stmt, env)
+            checks.append(CheckResult(stmt.name, stmt.kind, holds, stmt.flag))
+            # A `flag` check marks the execution when its condition HOLDS
+            # (herd: `flag ~empty race as ub` fires when race is non-empty);
+            # it never forbids the execution.
+            if stmt.flag and holds:
+                flags.append(stmt.name)
+        elif isinstance(stmt, (Show, Include)):
+            # `show` is presentation-only; `include` is resolved by the
+            # registry before parsing, so a leftover include is a no-op.
+            return
+        else:  # pragma: no cover - defensive
+            raise ModelError(f"unknown statement {stmt!r}")
+
+    def _run_check(self, stmt: Check, env: CatEnv) -> bool:
+        value = self._eval(stmt.expr, env)
+        rel = _as_relation(value, env.universe)
+        if stmt.kind == "acyclic":
+            result = rel.is_acyclic()
+        elif stmt.kind == "irreflexive":
+            result = rel.is_irreflexive()
+        elif stmt.kind == "empty":
+            result = rel.is_empty() if isinstance(value, Relation) else not value
+        else:  # pragma: no cover - parser guarantees
+            raise ModelError(f"unknown check kind {stmt.kind!r}")
+        if stmt.negated:
+            result = not result
+        return result
+
+    def _eval_let_rec(self, stmt: Let, env: CatEnv) -> None:
+        """Fixed-point semantics for ``let rec``: start from empty, iterate."""
+        names = [name for name, _ in stmt.bindings]
+        for name in names:
+            env.bindings[name] = Relation.empty()
+        changed = True
+        iterations = 0
+        while changed:
+            iterations += 1
+            if iterations > 1000:
+                raise ModelError("let rec did not converge after 1000 iterations")
+            changed = False
+            for name, expr in stmt.bindings:
+                new = self._eval(expr, env)
+                if new != env.bindings[name]:
+                    env.bindings[name] = new
+                    changed = True
+
+    # ------------------------------------------------------------------ #
+    def _eval(self, expr: CatExpr, env: CatEnv) -> Value:
+        if isinstance(expr, Name):
+            return env.lookup(expr.ident)
+        if isinstance(expr, EmptySet):
+            return Relation.empty()
+        if isinstance(expr, Universe):
+            return env.universe
+        if isinstance(expr, Bracket):
+            inner = self._eval(expr.inner, env)
+            return Relation.identity(_as_set(inner))
+        if isinstance(expr, Binary):
+            return self._eval_binary(expr, env)
+        if isinstance(expr, Postfix):
+            return self._eval_postfix(expr, env)
+        if isinstance(expr, Complement):
+            inner = self._eval(expr.inner, env)
+            if isinstance(inner, frozenset):
+                return env.universe - inner
+            full = Relation.cartesian(env.universe, env.universe)
+            return full - inner
+        if isinstance(expr, Call):
+            return self._eval_call(expr, env)
+        raise ModelError(f"cannot evaluate {expr!r}")  # pragma: no cover
+
+    def _eval_binary(self, expr: Binary, env: CatEnv) -> Value:
+        left = self._eval(expr.left, env)
+        right = self._eval(expr.right, env)
+        if expr.op == "*":
+            return Relation.cartesian(_as_set(left), _as_set(right))
+        if expr.op == ";":
+            lrel = _as_relation(left, env.universe)
+            rrel = _as_relation(right, env.universe)
+            return lrel.compose(rrel)
+        # set-theoretic ops: keep sets as sets when both sides are sets
+        if isinstance(left, frozenset) and isinstance(right, frozenset):
+            if expr.op == "|":
+                return left | right
+            if expr.op == "&":
+                return left & right
+            if expr.op == "\\":
+                return left - right
+        lrel = _as_relation(left, env.universe)
+        rrel = _as_relation(right, env.universe)
+        if expr.op == "|":
+            return lrel | rrel
+        if expr.op == "&":
+            return lrel & rrel
+        if expr.op == "\\":
+            return lrel - rrel
+        raise ModelError(f"unknown binary operator {expr.op!r}")  # pragma: no cover
+
+    def _eval_postfix(self, expr: Postfix, env: CatEnv) -> Value:
+        inner = self._eval(expr.inner, env)
+        rel = _as_relation(inner, env.universe)
+        if expr.op == "^+":
+            return rel.transitive_closure()
+        if expr.op == "^*":
+            return rel.reflexive_transitive_closure(env.universe)
+        if expr.op == "^-1":
+            return rel.inverse()
+        if expr.op == "?":
+            return rel.optional(env.universe)
+        raise ModelError(f"unknown postfix operator {expr.op!r}")  # pragma: no cover
+
+    def _eval_call(self, expr: Call, env: CatEnv) -> Value:
+        args = [self._eval(a, env) for a in expr.args]
+        if expr.func == "domain":
+            (rel,) = args
+            return _as_relation(rel, env.universe).domain()
+        if expr.func == "range":
+            (rel,) = args
+            return _as_relation(rel, env.universe).codomain()
+        if expr.func == "toid":
+            (s,) = args
+            return Relation.identity(_as_set(s))
+        if expr.func == "fencerel":
+            (s,) = args
+            ident = Relation.identity(_as_set(s))
+            return env.po.compose(ident).compose(env.po)
+        raise ModelError(f"unknown builtin {expr.func!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Model({self.name!r})"

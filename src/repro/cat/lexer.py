@@ -1,0 +1,69 @@
+"""Tokenizer for the mini Cat language."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..core.errors import ParseError
+
+TOKEN_SPEC = [
+    ("COMMENT_ML", r"\(\*.*?\*\)"),
+    ("COMMENT_SL", r"//[^\n]*"),
+    ("NEWLINE", r"\n"),
+    ("WS", r"[ \t\r]+"),
+    ("CARET_PLUS", r"\^\+"),
+    ("CARET_STAR", r"\^\*"),
+    ("INVERSE", r"\^-1"),
+    ("STRING", r'"[^"\n]*"'),
+    # identifiers may contain dots and interior hyphens (po-loc, dmb.sy)
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_.]*(?:-[A-Za-z0-9_.]+)*"),
+    ("NUMBER", r"\d+"),
+    ("OP", r"[|&\\;*?~=(),\[\]{}]"),
+]
+
+_MASTER = re.compile("|".join(f"(?P<{name}>{pat})" for name, pat in TOKEN_SPEC), re.DOTALL)
+
+KEYWORDS = frozenset(
+    {"let", "rec", "and", "as", "acyclic", "irreflexive", "empty", "flag", "show", "include", "unshow"}
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "IDENT", "KEYWORD", "OP", "NUMBER", "STRING", postfix kinds
+    text: str
+    line: int
+    column: int
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize Cat source, dropping comments and whitespace."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(source):
+        match = _MASTER.match(source, pos)
+        if match is None:
+            col = pos - line_start + 1
+            raise ParseError(f"unexpected character {source[pos]!r}", line, col)
+        kind = match.lastgroup or ""
+        text = match.group()
+        col = match.start() - line_start + 1
+        if kind == "NEWLINE":
+            line += 1
+            line_start = match.end()
+        elif kind == "COMMENT_ML":
+            line += text.count("\n")
+            if "\n" in text:
+                line_start = match.start() + text.rindex("\n") + 1
+        elif kind in ("WS", "COMMENT_SL"):
+            pass
+        elif kind == "IDENT" and text in KEYWORDS:
+            tokens.append(Token("KEYWORD", text, line, col))
+        else:
+            tokens.append(Token(kind, text, line, col))
+        pos = match.end()
+    return tokens

@@ -1,0 +1,1 @@
+"""Memory model sources, written in the mini Cat DSL."""

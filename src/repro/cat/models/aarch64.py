@@ -1,0 +1,62 @@
+"""The Armv8 AArch64 memory model (official, §B2.3.1 of the Arm ARM [14]).
+
+A faithful subset of herd's ``aarch64.cat``: internal visibility
+(SC-per-location), atomicity of exclusives/atomics, and external
+visibility via the ordered-before relation ``ob = obs | dob | aob | bob``.
+
+Tag conventions (set by the assembly semantics):
+
+* ``A`` — load-acquire (LDAR, LDAXR, LDADDA…): orders against *everything*
+  po-later, and a *prior* STLR (``[L]; po; [A]``).
+* ``Q`` — LDAPR (weak acquire, Armv8.3 RCpc): orders po-later accesses but
+  **not** against a prior STLR — the exact relaxation of the paper's §IV-F
+  LDAPR case study.
+* ``L`` — store-release (STLR, STLXR, SWPL…).
+* ``DMB.SY`` / ``DMB.LD`` / ``DMB.ST`` — barriers; ``ISB`` — context sync.
+* ``CONST`` — accesses to read-only memory.  The base model has no notion
+  of const; the paper (§IV-E) augments it to flag const violations, which
+  is how the 128-bit const-atomic-load crash (LLVM #61770) is caught.
+"""
+
+SOURCE = r"""
+AArch64
+(* Internal visibility requirement *)
+acyclic po-loc | com as internal
+
+(* Atomicity of read-modify-writes *)
+empty rmw & (fre; coe) as atomic
+
+(* External visibility: ordered-before *)
+let obs = rfe | fre | coe
+
+(* dependency-ordered-before *)
+let dob = addr | data
+        | ctrl; [W]
+        | (ctrl | (addr; po)); [ISB]; po; [R]
+        | addr; po; [W]
+        | (ctrl | data); coi
+        | (addr | data); rfi
+
+(* atomic-ordered-before *)
+let aob = rmw
+        | [range(rmw)]; rfi; [A | Q]
+
+(* ST<OP> atomics (LDADD with XZR destination aliases STADD) perform a
+   read that is NOT ordered by DMB LD — the mechanism behind the paper's
+   Fig. 10 / Fig. 1 bugs.  Such reads carry the NORET tag. *)
+let RR = R \ NORET
+
+(* barrier-ordered-before *)
+let bob = po; [DMB.SY]; po
+        | [L]; po; [A]
+        | [RR]; po; [DMB.LD]; po
+        | [A | Q]; po
+        | [W]; po; [DMB.ST]; po; [W]
+        | po; [L]
+
+let ob = (obs | dob | aob | bob)^+
+irreflexive ob as external
+
+(* paper augmentation: writes must not reach read-only memory *)
+flag ~empty (W & CONST) as const-violation
+"""

@@ -1,0 +1,50 @@
+"""The (unofficial) Armv7 model, in the "Herding Cats" Power/ARM style [12].
+
+Two variants are shipped:
+
+* :data:`SOURCE` — the **fixed** model: ``dmb ish`` (tag ``DMB.ISH``) is a
+  full fence, as on hardware.
+* :data:`BUGGY_SOURCE` — the model **before** the paper's fix
+  (herdtools7 PR #385, "Added dmb ish to arm model"): ``dmb ish`` events
+  are not recognised as fences, so a Store Buffering test compiled with
+  ``dmb ish`` barriers is (wrongly) allowed.  The paper found this with a
+  compiled SB litmus test and fixed the model — a limitation class unique
+  to model-based testing (§IV-E).
+"""
+
+SOURCE = r"""
+ARMv7
+let ffence = po; [DMB | DSB | DMB.ISH]; po
+let fence = ffence
+let ppo = addr | data
+        | ctrl; [W]
+        | addr; po; [W]
+        | ctrl; [ISB]; po; [R]
+let hb = ppo | fence | rfe
+acyclic hb as no-thin-air
+let prop_base = rfe?; fence; hb^*
+let prop = (prop_base & (W * W)) | (com^*; prop_base^*; ffence; hb^*)
+irreflexive fre; prop; hb^* as observation
+acyclic co | prop as propagation
+acyclic po-loc | com as sc-per-location
+empty rmw & (fre; coe) as atomicity
+"""
+
+BUGGY_SOURCE = r"""
+ARMv7-buggy
+(* dmb ish missing from the fence set: the pre-fix herdtools arm model *)
+let ffence = po; [DMB | DSB]; po
+let fence = ffence
+let ppo = addr | data
+        | ctrl; [W]
+        | addr; po; [W]
+        | ctrl; [ISB]; po; [R]
+let hb = ppo | fence | rfe
+acyclic hb as no-thin-air
+let prop_base = rfe?; fence; hb^*
+let prop = (prop_base & (W * W)) | (com^*; prop_base^*; ffence; hb^*)
+irreflexive fre; prop; hb^* as observation
+acyclic co | prop as propagation
+acyclic po-loc | com as sc-per-location
+empty rmw & (fre; coe) as atomicity
+"""

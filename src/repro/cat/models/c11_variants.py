@@ -1,0 +1,33 @@
+"""Additional C/C++ model variants shipped by the paper's artefact.
+
+The artefact offers ``c11_simp.cat`` and ``c11_partialSC.cat`` alongside
+``rc11.cat`` as values for the ``CMEM`` Make variable.  We provide the
+same knobs: a coherence-and-atomicity-only model, and RC11 without the SC
+axiom.
+"""
+
+C11_SIMP_SOURCE = r"""
+C11-SIMP
+(* Coherence and atomicity only: the weakest sensible C11 approximation. *)
+let rs = [W]; (po & loc)?; [W & RLX]; (rf; rmw)^*
+let sw = [REL]; ([F]; po)?; rs; rf; [R & RLX]; (po; [F])?; [ACQ]
+let hb = (po | sw | init)^+
+let eco = (rf | co | fr)^+
+irreflexive hb; eco? as coherence
+empty rmw & (fre; coe) as atomicity
+"""
+
+C11_PARTIALSC_SOURCE = r"""
+C11-PARTIALSC
+(* RC11 minus the SC axiom ("partial SC"). *)
+let rs = [W]; (po & loc)?; [W & RLX]; (rf; rmw)^*
+let sw = [REL]; ([F]; po)?; rs; rf; [R & RLX]; (po; [F])?; [ACQ]
+let hb = (po | sw | init)^+
+let eco = (rf | co | fr)^+
+irreflexive hb; eco? as coherence
+empty rmw & (fre; coe) as atomicity
+acyclic po | rf as no-thin-air
+let conflict = ((W * M) | (M * W)) & loc & ext
+let race = (conflict & ((NA * M) | (M * NA))) \ (hb | hb^-1)
+flag ~empty race as undefined-behaviour
+"""

@@ -1,0 +1,26 @@
+"""MIPS (64-bit) memory model, Power-style with a single full fence.
+
+``sync`` (tag ``MIPS.SYNC``) is the only barrier.  Our compiler mappings
+for MIPS are conservative — every atomic access is bracketed by ``sync``,
+mirroring GCC's "atomic data is considered volatile for practical
+reasons" discussion in the paper's §IV-C — so MIPS shows **zero** positive
+differences but the **largest** share of negative differences in
+Table IV, exactly as the paper reports.
+"""
+
+SOURCE = r"""
+MIPS
+let ffence = po; [MIPS.SYNC]; po
+let fence = ffence
+let ppo = addr | data
+        | ctrl; [W]
+        | addr; po; [W]
+let hb = ppo | fence | rfe
+acyclic hb as no-thin-air
+let prop_base = rfe?; fence; hb^*
+let prop = (prop_base & (W * W)) | (com^*; prop_base^*; ffence; hb^*)
+irreflexive fre; prop; hb^* as observation
+acyclic co | prop as propagation
+acyclic po-loc | com as sc-per-location
+empty rmw & (fre; coe) as atomicity
+"""

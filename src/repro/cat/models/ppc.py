@@ -1,0 +1,25 @@
+"""IBM PowerPC memory model ("Herding Cats" [12], herd's ppc.cat).
+
+``sync`` is the full fence; ``lwsync`` is lightweight (does not order
+write-to-read); ``isync`` combines with control dependencies.  PowerPC
+permits load buffering, so it shows positive differences in Table IV.
+"""
+
+SOURCE = r"""
+PPC
+let ffence = po; [SYNC]; po
+let lwfence = (po; [LWSYNC]; po) \ ([W]; po; [LWSYNC]; po; [R])
+let fence = ffence | lwfence
+let ppo = addr | data
+        | ctrl; [W]
+        | addr; po; [W]
+        | ctrl; [ISYNC]; po; [R]
+let hb = ppo | fence | rfe
+acyclic hb as no-thin-air
+let prop_base = rfe?; fence; hb^*
+let prop = (prop_base & (W * W)) | (com^*; prop_base^*; ffence; hb^*)
+irreflexive fre; prop; hb^* as observation
+acyclic co | prop as propagation
+acyclic po-loc | com as sc-per-location
+empty rmw & (fre; coe) as atomicity
+"""

@@ -1,0 +1,48 @@
+"""The RC11 model of Lahav et al. [47], as used throughout the paper.
+
+This is the *source* oracle for most experiments.  The key property for the
+paper's Table IV / Fig. 7 results: RC11 forbids load buffering outright via
+``acyclic (po | rf)`` (no-thin-air), while the ISO standard — and all the
+weak architectures — permit load-to-store reordering.  ``rc11+lb``
+(:mod:`repro.cat.models.rc11_lb`) relaxes exactly that axiom, which makes
+every positive difference of Table IV disappear.
+
+Data races on non-atomics are *flagged* as undefined behaviour rather than
+forbidden; the test harness ignores differences on racy tests (paper
+§IV-D: "Many differences in Tab. IV arise from data races ... we ignore
+false positives on that basis").
+"""
+
+SOURCE = r"""
+RC11
+(* release sequences: a write, optionally headed by same-thread writes,
+   extended through read-modify-writes *)
+let rs = [W]; (po & loc)?; [W & RLX]; (rf; rmw)^*
+
+(* synchronises-with: release write/fence to acquire read/fence *)
+let sw = [REL]; ([F]; po)?; rs; rf; [R & RLX]; (po; [F])?; [ACQ]
+
+(* happens-before; initial writes precede everything *)
+let hb = (po | sw | init)^+
+
+(* extended coherence order *)
+let eco = (rf | co | fr)^+
+
+(* COHERENCE *)
+irreflexive hb; eco? as coherence
+
+(* ATOMICITY *)
+empty rmw & (fre; coe) as atomicity
+
+(* NO-THIN-AIR: RC11's conservative fix — forbids load buffering *)
+acyclic po | rf as no-thin-air
+
+(* SC axiom (simplified psc): no cycle among seq_cst events through
+   program order and communication *)
+acyclic [SC]; (po | rf | co | fr)^+; [SC] as seq-cst
+
+(* data races on non-atomics are undefined behaviour *)
+let conflict = ((W * M) | (M * W)) & loc & ext
+let race = (conflict & ((NA * M) | (M * NA))) \ (hb | hb^-1)
+flag ~empty race as undefined-behaviour
+"""

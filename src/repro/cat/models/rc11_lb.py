@@ -1,0 +1,31 @@
+"""``rc11+lb`` — RC11 with load-to-store reordering permitted.
+
+The paper's artefact (Claim 4) repeats the Table IV campaign under this
+model: since the ISO C/C++ standard explicitly permits load buffering
+(§7.17.3 of C23), the positive differences found under RC11 are not bugs
+in today's compilers.  The no-thin-air axiom is weakened from
+``acyclic (po | rf)`` to ``acyclic (addr | data | rf)``: value-dependency
+cycles (genuine out-of-thin-air) remain forbidden, while dependency-free
+and merely control-dependent load buffering become allowed — control
+dependencies are erasable by compilers, so including them would leave
+residual false positives (the paper reports *all* positives vanish).
+"""
+
+SOURCE = r"""
+RC11-LB
+let rs = [W]; (po & loc)?; [W & RLX]; (rf; rmw)^*
+let sw = [REL]; ([F]; po)?; rs; rf; [R & RLX]; (po; [F])?; [ACQ]
+let hb = (po | sw | init)^+
+let eco = (rf | co | fr)^+
+irreflexive hb; eco? as coherence
+empty rmw & (fre; coe) as atomicity
+(* load buffering permitted: only value (data/address) dependency
+   cycles are genuine out-of-thin-air.  Control dependencies are NOT
+   included: compilers legitimately erase them (identical-branch
+   merging), as the paper's gcc -O1 Armv7 study shows. *)
+acyclic (addr | data) | rf as no-thin-air
+acyclic [SC]; (po | rf | co | fr)^+; [SC] as seq-cst
+let conflict = ((W * M) | (M * W)) & loc & ext
+let race = (conflict & ((NA * M) | (M * NA))) \ (hb | hb^-1)
+flag ~empty race as undefined-behaviour
+"""

@@ -1,0 +1,32 @@
+"""RISC-V RVWMO memory model (official [60]), in the AArch64 ``ob`` style.
+
+Fences are tagged by their predecessor/successor sets
+(``FENCE.RW.RW`` etc.); AMOs and LR/SC may carry acquire/release
+annotations (RISC-V spells them ``.aq``/``.rl``; event tags reuse the
+cross-architecture ``A``/``L`` names).  RVWMO permits load buffering — RISC-V shows positive
+differences in Table IV for both compilers.
+"""
+
+SOURCE = r"""
+RISCV
+acyclic po-loc | com as internal
+empty rmw & (fre; coe) as atomicity
+
+let obs = rfe | fre | coe
+let dob = addr | data
+        | ctrl; [W]
+        | (addr | data); rfi
+        | addr; po; [W]
+let aob = rmw
+        | [range(rmw)]; rfi; [A]
+let bob = po; [FENCE.RW.RW]; po
+        | [R]; po; [FENCE.R.RW]; po
+        | po; [FENCE.RW.W]; po; [W]
+        | [W]; po; [FENCE.W.W]; po; [W]
+        | [R]; po; [FENCE.R.R]; po; [R]
+        | [A]; po
+        | po; [L]
+        | [L]; po; [A]
+let ob = (obs | dob | aob | bob)^+
+irreflexive ob as external
+"""

@@ -1,0 +1,13 @@
+"""Sequential consistency (Lamport [48]) as a Cat model.
+
+The strongest model we ship; useful as a baseline and in property tests
+(every SC outcome must be an outcome of every weaker model).
+"""
+
+SOURCE = r"""
+SC
+(* An execution is SC iff communication embeds in one total order
+   consistent with program order. *)
+acyclic po | rf | co | fr as sc
+empty rmw & (fre; coe) as atomicity
+"""

@@ -1,0 +1,24 @@
+"""Intel x86-64 TSO (Owens/Sarkar/Sewell [71], herd's x86tso.cat).
+
+Total store order: only write-to-read program order may be relaxed, and
+``MFENCE`` / locked instructions (tag ``X``) restore it.  Because TSO keeps
+read-to-write order, x86 exhibits **no load buffering** — the reason
+Table IV reports zero positive differences for Intel x86-64.
+"""
+
+SOURCE = r"""
+X86-TSO
+(* program order with write->read pairs removed *)
+let po-WR = [W]; po; [R]
+let ppo = po \ po-WR
+
+(* locked instructions and mfence restore W->R order *)
+let implied = po; [X] | [X]; po
+let fence = po; [MFENCE]; po
+
+let ghb = ppo | implied | fence | rfe | co | fr
+acyclic ghb as tso
+
+acyclic po-loc | com as sc-per-location
+empty rmw & (fre; coe) as atomicity
+"""

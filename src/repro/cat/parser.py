@@ -1,0 +1,272 @@
+"""Recursive-descent parser for the mini Cat language.
+
+Operator precedence, loosest first (matching herd's cat):
+
+    |      union
+    \\      difference
+    &      intersection
+    ;  *   composition / cartesian product
+    ~      complement (prefix)
+    ^+ ^* ^-1 ?   postfix closures
+    [e]  name  0  _  f(e)  (e)   primary
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.errors import ParseError
+from .ast import (
+    Binary,
+    Bracket,
+    Call,
+    CatExpr,
+    CatModel,
+    CatStmt,
+    Check,
+    Complement,
+    EmptySet,
+    Include,
+    Let,
+    Name,
+    Postfix,
+    Show,
+    Universe,
+)
+from .lexer import Token, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------ #
+    # token plumbing
+    # ------------------------------------------------------------------ #
+    def peek(self) -> Optional[Token]:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of model")
+        self.pos += 1
+        return token
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.peek()
+        return (
+            token is not None
+            and token.kind == kind
+            and (text is None or token.text == text)
+        )
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.peek()
+        if token is None or token.kind != kind or (text is not None and token.text != text):
+            got = f"{token.kind} {token.text!r}" if token else "end of input"
+            want = text if text is not None else kind
+            line = token.line if token else 0
+            raise ParseError(f"expected {want!r}, got {got}", line)
+        return self.next()
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.at(kind, text):
+            return self.next()
+        return None
+
+    # ------------------------------------------------------------------ #
+    # grammar
+    # ------------------------------------------------------------------ #
+    def parse_model(self) -> CatModel:
+        name = ""
+        # optional leading model name: a bare string or identifier line
+        if self.at("STRING"):
+            name = self.next().text.strip('"')
+        elif self.at("IDENT") and not self._ident_starts_statement():
+            name = self.next().text
+        statements: List[CatStmt] = []
+        while self.peek() is not None:
+            statements.append(self.parse_statement())
+        return CatModel(name=name, statements=tuple(statements))
+
+    def _ident_starts_statement(self) -> bool:
+        # A lone identifier at the start is a model name unless it is
+        # followed by '=' (which cat does not allow at top level anyway).
+        nxt = self.tokens[self.pos + 1] if self.pos + 1 < len(self.tokens) else None
+        return nxt is not None and nxt.kind == "OP" and nxt.text == "="
+
+    def parse_statement(self) -> CatStmt:
+        token = self.peek()
+        assert token is not None
+        if token.kind == "KEYWORD":
+            if token.text == "let":
+                return self.parse_let()
+            if token.text in ("acyclic", "irreflexive", "empty"):
+                return self.parse_check(flag=False)
+            if token.text == "flag":
+                self.next()
+                return self.parse_check(flag=True)
+            if token.text in ("show", "unshow"):
+                self.next()
+                names = [self.expect("IDENT").text]
+                while self.accept("OP", ","):
+                    names.append(self.expect("IDENT").text)
+                # optional "as alias"
+                if self.accept("KEYWORD", "as"):
+                    self.expect("IDENT")
+                return Show(tuple(names))
+            if token.text == "include":
+                self.next()
+                path = self.expect("STRING").text.strip('"')
+                return Include(path)
+        if token.kind == "OP" and token.text == "~":
+            # standalone negated check: `~empty r as name`
+            return self.parse_check(flag=False)
+        raise ParseError(
+            f"unexpected token {token.text!r} at statement start", token.line, token.column
+        )
+
+    def parse_let(self) -> Let:
+        self.expect("KEYWORD", "let")
+        recursive = bool(self.accept("KEYWORD", "rec"))
+        bindings: List[Tuple[str, CatExpr]] = [self.parse_binding()]
+        while self.accept("KEYWORD", "and"):
+            bindings.append(self.parse_binding())
+        return Let(tuple(bindings), recursive=recursive)
+
+    def parse_binding(self) -> Tuple[str, CatExpr]:
+        name = self.expect("IDENT").text
+        self.expect("OP", "=")
+        return name, self.parse_expr()
+
+    def parse_check(self, flag: bool) -> Check:
+        kw = self.next()
+        if kw.kind != "KEYWORD" or kw.text not in ("acyclic", "irreflexive", "empty"):
+            # "flag ~empty e as n" — the negation comes before the keyword
+            if kw.kind == "OP" and kw.text == "~":
+                inner = self.expect("KEYWORD")
+                if inner.text not in ("acyclic", "irreflexive", "empty"):
+                    raise ParseError(f"bad check kind {inner.text!r}", inner.line)
+                expr = self.parse_expr()
+                name = self._check_name(inner.text)
+                return Check(inner.text, expr, name, negated=True, flag=flag)
+            raise ParseError(f"bad check {kw.text!r}", kw.line, kw.column)
+        expr = self.parse_expr()
+        name = self._check_name(kw.text)
+        return Check(kw.text, expr, name, negated=False, flag=flag)
+
+    def _check_name(self, default: str) -> str:
+        if self.accept("KEYWORD", "as"):
+            return self.expect("IDENT").text
+        return default
+
+    # expressions -------------------------------------------------------- #
+    def parse_expr(self) -> CatExpr:
+        return self.parse_union()
+
+    def parse_union(self) -> CatExpr:
+        expr = self.parse_difference()
+        while self.at("OP", "|"):
+            self.next()
+            expr = Binary("|", expr, self.parse_difference())
+        return expr
+
+    def parse_difference(self) -> CatExpr:
+        expr = self.parse_intersection()
+        while self.at("OP", "\\"):
+            self.next()
+            expr = Binary("\\", expr, self.parse_intersection())
+        return expr
+
+    def parse_intersection(self) -> CatExpr:
+        expr = self.parse_sequence()
+        while self.at("OP", "&"):
+            self.next()
+            expr = Binary("&", expr, self.parse_sequence())
+        return expr
+
+    def parse_sequence(self) -> CatExpr:
+        expr = self.parse_prefix()
+        while True:
+            if self.at("OP", ";"):
+                self.next()
+                expr = Binary(";", expr, self.parse_prefix())
+            elif self.at("OP", "*"):
+                self.next()
+                expr = Binary("*", expr, self.parse_prefix())
+            else:
+                return expr
+
+    def parse_prefix(self) -> CatExpr:
+        if self.at("OP", "~"):
+            self.next()
+            return Complement(self.parse_prefix())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> CatExpr:
+        expr = self.parse_primary()
+        while True:
+            if self.at("CARET_PLUS"):
+                self.next()
+                expr = Postfix("^+", expr)
+            elif self.at("CARET_STAR"):
+                self.next()
+                expr = Postfix("^*", expr)
+            elif self.at("INVERSE"):
+                self.next()
+                expr = Postfix("^-1", expr)
+            elif self.at("OP", "?"):
+                self.next()
+                expr = Postfix("?", expr)
+            else:
+                return expr
+
+    def parse_primary(self) -> CatExpr:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of expression")
+        if token.kind == "OP" and token.text == "(":
+            self.next()
+            expr = self.parse_expr()
+            self.expect("OP", ")")
+            return expr
+        if token.kind == "OP" and token.text == "[":
+            self.next()
+            inner = self.parse_expr()
+            self.expect("OP", "]")
+            return Bracket(inner)
+        if token.kind == "OP" and token.text == "{":
+            self.next()
+            self.expect("OP", "}")
+            return EmptySet()
+        if token.kind == "NUMBER":
+            self.next()
+            if token.text == "0":
+                return EmptySet()
+            raise ParseError(f"unexpected number {token.text}", token.line, token.column)
+        if token.kind == "IDENT":
+            self.next()
+            if token.text == "_":
+                return Universe()
+            if self.at("OP", "("):
+                self.next()
+                args: List[CatExpr] = []
+                if not self.at("OP", ")"):
+                    args.append(self.parse_expr())
+                    while self.accept("OP", ","):
+                        args.append(self.parse_expr())
+                self.expect("OP", ")")
+                return Call(token.text, tuple(args))
+            return Name(token.text)
+        raise ParseError(
+            f"unexpected token {token.text!r} in expression", token.line, token.column
+        )
+
+
+def parse(source: str) -> CatModel:
+    """Parse Cat source text into a :class:`CatModel`."""
+    return _Parser(tokenize(source)).parse_model()

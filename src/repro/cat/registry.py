@@ -1,0 +1,78 @@
+"""Model registry: look up compiled Cat models by name.
+
+Names follow the paper's artefact conventions (``rc11.cat``,
+``rc11+lb.cat``, ``aarch64.cat``…); the ``.cat`` suffix is optional.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.errors import ModelError
+from .interp import Model
+from .models import aarch64, armv7, c11_variants, mips, ppc, rc11, rc11_lb, riscv, sc, x86tso
+
+_SOURCES: Dict[str, str] = {
+    "sc": sc.SOURCE,
+    "rc11": rc11.SOURCE,
+    "rc11+lb": rc11_lb.SOURCE,
+    "c11_simp": c11_variants.C11_SIMP_SOURCE,
+    "c11_partialsc": c11_variants.C11_PARTIALSC_SOURCE,
+    "x86tso": x86tso.SOURCE,
+    "aarch64": aarch64.SOURCE,
+    "armv7": armv7.SOURCE,
+    "armv7_buggy": armv7.BUGGY_SOURCE,
+    "riscv": riscv.SOURCE,
+    "ppc": ppc.SOURCE,
+    "mips": mips.SOURCE,
+}
+
+#: The architecture model used for each compilation target.
+ARCH_MODEL: Dict[str, str] = {
+    "aarch64": "aarch64",
+    "armv7": "armv7",
+    "x86_64": "x86tso",
+    "riscv64": "riscv",
+    "ppc64": "ppc",
+    "mips64": "mips",
+}
+
+_CACHE: Dict[str, Model] = {}
+
+
+def normalise(name: str) -> str:
+    key = name.strip().lower()
+    if key.endswith(".cat"):
+        key = key[: -len(".cat")]
+    key = key.replace("c11_partialsc", "c11_partialsc").replace("x86-tso", "x86tso")
+    return key
+
+
+def get_model(name: str) -> Model:
+    """Return the compiled model called ``name`` (cached)."""
+    key = normalise(name)
+    if key not in _SOURCES:
+        raise ModelError(
+            f"unknown model {name!r}; available: {', '.join(sorted(_SOURCES))}"
+        )
+    if key not in _CACHE:
+        _CACHE[key] = Model.from_source(_SOURCES[key], name=key)
+    return _CACHE[key]
+
+
+def get_source(name: str) -> str:
+    key = normalise(name)
+    if key not in _SOURCES:
+        raise ModelError(f"unknown model {name!r}")
+    return _SOURCES[key]
+
+
+def arch_model(arch: str) -> Model:
+    """The architecture model for a compilation target (e.g. ``aarch64``)."""
+    if arch not in ARCH_MODEL:
+        raise ModelError(f"no architecture model registered for {arch!r}")
+    return get_model(ARCH_MODEL[arch])
+
+
+def list_models() -> List[str]:
+    return sorted(_SOURCES)

@@ -1,0 +1,134 @@
+"""The standard environment a Cat model sees for one execution.
+
+This is the bridge between :class:`~repro.core.execution.Execution` and the
+Cat interpreter: it exposes the base sets (``R``, ``W``, ``M``, ``F``,
+C11 order sets, architecture tag sets) and base relations (``po``, ``rf``,
+``co``, ``fr``, dependency relations, ``loc``, ``int``/``ext``…) under the
+names the shipped models use.
+
+Tag sets (``A``, ``Q``, ``L``, ``X``, ``DMB.SY`` …) default to the empty
+set when the execution contains no such event, so one model text works for
+every front-end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from ..core.events import INIT_TID, MemoryOrder
+from ..core.execution import Execution
+from ..core.relations import Relation
+from .interp import CatEnv, Value
+
+#: Architecture tag names every environment defines (empty if unused).
+KNOWN_TAG_SETS = (
+    # AArch64
+    "A",          # load-acquire (LDAR, LDAXR)
+    "Q",          # load-acquirePC (LDAPR) — weaker than A w.r.t. earlier STLR
+    "L",          # store-release (STLR, STLXR)
+    "X",          # exclusive / locked access
+    "ISB",
+    "DMB.SY",
+    "DMB.LD",
+    "DMB.ST",
+    "DMB.ISH",
+    # Armv7
+    "DMB",
+    "DSB",
+    # x86
+    "MFENCE",
+    "LOCK",
+    # RISC-V
+    "AQ",
+    "RL",
+    "FENCE.RW.RW",
+    "FENCE.R.RW",
+    "FENCE.RW.W",
+    "FENCE.W.W",
+    "FENCE.R.R",
+    "FENCE.TSO",
+    # Power
+    "SYNC",
+    "LWSYNC",
+    "ISYNC",
+    "EIEIO",
+    # MIPS
+    "MIPS.SYNC",
+    # misc
+    "INIT",
+    "RMW-R",
+    "RMW-W",
+    "NORET",      # ST<OP>-form atomic reads: not ordered by DMB LD
+    "CONST",      # accesses to read-only (const) memory — paper §IV-E
+)
+
+
+def build_env(execution: Execution) -> CatEnv:
+    """Construct the Cat evaluation environment for ``execution``."""
+    universe = frozenset(execution.ids())
+    reads = execution.reads()
+    writes = execution.writes()
+    fences = execution.fences()
+    accesses = execution.accesses()
+    init_writes = frozenset(e.eid for e in execution.events if e.is_init)
+
+    def order_set(*orders: MemoryOrder) -> FrozenSet[int]:
+        wanted = set(orders)
+        return frozenset(e.eid for e in execution.events if e.order in wanted)
+
+    bindings: Dict[str, Value] = {
+        # base sets --------------------------------------------------- #
+        "R": reads,
+        "W": writes,
+        "M": accesses,
+        "F": fences,
+        "B": frozenset(e.eid for e in execution.events if e.is_branch),
+        "IW": init_writes,
+        "id": Relation.identity(universe),
+        # C11 order sets ----------------------------------------------- #
+        # ACQ: acquire or stronger; REL: release or stronger; etc.
+        "ACQ": order_set(MemoryOrder.ACQ, MemoryOrder.ACQ_REL, MemoryOrder.SC),
+        "REL": order_set(MemoryOrder.REL, MemoryOrder.ACQ_REL, MemoryOrder.SC),
+        "SC": order_set(MemoryOrder.SC),
+        "ACQ_REL": order_set(MemoryOrder.ACQ_REL),
+        "CON": order_set(MemoryOrder.CON),
+        "RLX": frozenset(
+            e.eid for e in execution.events if e.order.is_atomic
+        ),  # "at least relaxed" = every atomic event
+        "NA": frozenset(
+            e.eid
+            for e in execution.events
+            if e.is_access and not e.order.is_atomic and not e.is_init
+        ),
+        "ATOMIC": frozenset(
+            e.eid for e in execution.events if e.order.is_atomic
+        ),
+        # base relations ---------------------------------------------- #
+        "po": execution.po,
+        "rf": execution.rf,
+        "co": execution.co,
+        "fr": execution.fr,
+        "rmw": execution.rmw,
+        "addr": execution.addr,
+        "data": execution.data,
+        "ctrl": execution.ctrl,
+        "deps": execution.addr | execution.data | execution.ctrl,
+        "loc": execution.same_location(),
+        "int": execution.internal(),
+        "ext": execution.external(),
+        "po-loc": execution.po_loc(),
+        "com": execution.com(),
+        "rfe": execution.rfe(),
+        "rfi": execution.rfi(),
+        "coe": execution.coe(),
+        "coi": execution.coi(),
+        "fre": execution.fre(),
+        "fri": execution.fri(),
+        # init-before: initial writes precede every other event -------- #
+        "init": Relation.cartesian(
+            init_writes, frozenset(universe) - init_writes
+        ),
+    }
+    for tag in KNOWN_TAG_SETS:
+        bindings[tag] = execution.tagged(tag)
+    return CatEnv(bindings=bindings, universe=universe, po=execution.po)

@@ -1,0 +1,44 @@
+"""The miniature C11-atomics compiler: IR, passes, back-ends, object files."""
+
+from .backends import compile_program
+from .codegen import CompiledThread, CompiledUnit
+from .disasm import disassemble, disassemble_thread, strip_listing
+from .ir import IRFunction, IRInstr, IROp, IRProgram
+from .lower import lower
+from .objfile import DebugInfo, ObjectFile, Relocation, Symbol, link_layout
+from .passes import optimise, pipeline_for
+from .profiles import (
+    ARCHES,
+    GCC_OPT_LEVELS,
+    LLVM_OPT_LEVELS,
+    CompilerProfile,
+    default_profiles,
+    make_profile,
+)
+
+__all__ = [
+    "compile_program",
+    "CompiledThread",
+    "CompiledUnit",
+    "disassemble",
+    "disassemble_thread",
+    "strip_listing",
+    "IRFunction",
+    "IRInstr",
+    "IROp",
+    "IRProgram",
+    "lower",
+    "DebugInfo",
+    "ObjectFile",
+    "Relocation",
+    "Symbol",
+    "link_layout",
+    "optimise",
+    "pipeline_for",
+    "ARCHES",
+    "GCC_OPT_LEVELS",
+    "LLVM_OPT_LEVELS",
+    "CompilerProfile",
+    "default_profiles",
+    "make_profile",
+]

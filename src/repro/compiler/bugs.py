@@ -1,0 +1,89 @@
+"""The historical-bug injection layer.
+
+Each constant names one concurrency bug the paper reports or reproduces;
+compiler epochs carry a set of these flags (see
+:mod:`repro.compiler.profiles`).  Code generation consults the flags to
+emit the buggy instruction selection; *fixed* epochs take the correct
+path.  This is the reproduction analogue of installing LLVM 11 next to
+LLVM 16 in the paper's Docker artefact.
+
+Every flag maps to a paper reference:
+
+===========================  ================================================
+flag                          paper reference
+===========================  ================================================
+``RMW_ST_FORM``               Fig. 10 / [54][33]: a relaxed ``fetch_add``
+                              whose result is unused compiles to ``STADD``
+                              (or ``LDADD`` with its destination zeroed by
+                              the dead-register-definitions pass [53]) even
+                              when a later acquire fence needs the read;
+                              the RMW read becomes ``NORET``.
+``XCHG_DROP_READ``            Fig. 1 / [38]: same mechanism for
+                              ``atomic_exchange`` (``SWP`` with an unused
+                              destination), reported *new* by the paper.
+``LDP_SEQCST_UNORDERED``      [37]: 128-bit seq_cst load on Armv8.4 uses a
+                              bare ``LDP`` with no ordering, so it can
+                              reorder before a prior RMW's store.
+``STP_WRONG_ENDIAN``          [39]: 128-bit atomic store writes its two
+                              64-bit registers to memory in flipped order.
+``ATOMIC_128_VIA_LOOP``       [36]: 128-bit atomic loads implemented with a
+                              store-pair (LDXP/STXP) loop — a *write* to
+                              the location, which crashes at run time when
+                              the data is ``const`` (read-only memory).
+``ARMV7_O1_CTRL_DROP``        §IV-D: GCC at ``-O1`` for Armv7 merges
+                              branch arms that perform identical stores,
+                              deleting a control dependency (masked at
+                              ``-O2+`` by if-conversion's data dependency).
+===========================  ================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+RMW_ST_FORM = "rmw-st-form"
+XCHG_DROP_READ = "xchg-drop-read"
+LDP_SEQCST_UNORDERED = "ldp-seqcst-unordered"
+STP_WRONG_ENDIAN = "stp-wrong-endian"
+ATOMIC_128_VIA_LOOP = "atomic-128-via-loop"
+ARMV7_O1_CTRL_DROP = "armv7-o1-ctrl-drop"
+
+ALL_BUGS: Tuple[str, ...] = (
+    RMW_ST_FORM,
+    XCHG_DROP_READ,
+    LDP_SEQCST_UNORDERED,
+    STP_WRONG_ENDIAN,
+    ATOMIC_128_VIA_LOOP,
+    ARMV7_O1_CTRL_DROP,
+)
+
+#: Human-readable one-liners, used by reporting.
+DESCRIPTIONS: Dict[str, str] = {
+    RMW_ST_FORM: (
+        "unused-result atomic RMW emitted as ST<OP> (NORET read escapes "
+        "acquire-fence ordering) — paper Fig. 10, LLVM bug 35094 / GCC LSE"
+    ),
+    XCHG_DROP_READ: (
+        "unused-result atomic_exchange emitted as SWP with zero destination "
+        "— paper Fig. 1, LLVM issue 68428"
+    ),
+    LDP_SEQCST_UNORDERED: (
+        "128-bit seq_cst load uses bare LDP; may reorder before a prior "
+        "RMW store — LLVM issue 62652"
+    ),
+    STP_WRONG_ENDIAN: (
+        "128-bit atomic store flips its register pair — LLVM issue 61431"
+    ),
+    ATOMIC_128_VIA_LOOP: (
+        "128-bit atomic load via exclusive store loop writes to (possibly "
+        "const) memory — LLVM issue 61770"
+    ),
+    ARMV7_O1_CTRL_DROP: (
+        "GCC -O1 Armv7 merges identical branch arms, dropping a control "
+        "dependency — paper §IV-D"
+    ),
+}
+
+
+def describe(flag: str) -> str:
+    return DESCRIPTIONS.get(flag, flag)

@@ -1,0 +1,144 @@
+"""The miniature compiler's intermediate representation.
+
+A thread body lowers to a linear sequence of three-address instructions
+over virtual registers.  Source-level locals keep their names (``r0``);
+compiler temporaries are ``%t0``, ``%t1``, …  This mirrors the level at
+which the paper's bug mechanisms live: C11 atomic operations are still
+visible as single IR operations (so back-ends choose instruction
+mappings), while locals are plain virtual registers (so the dead-local
+elimination of §IV-B can delete them).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from ..core.events import MemoryOrder
+
+#: An IR operand: a virtual register name or an integer literal.
+Operand = Union[str, int]
+
+
+class IROp(enum.Enum):
+    """IR operation kinds."""
+
+    CONST = "const"    # dst := imm
+    BIN = "bin"        # dst := a <op> b
+    LOAD = "load"      # dst := [loc]            (atomic iff order != NA)
+    STORE = "store"    # [loc] := src
+    RMW = "rmw"        # dst := fetch_<kind>([loc], operand)
+    FENCE = "fence"    # atomic_thread_fence(order)
+    LABEL = "label"
+    BR = "br"          # goto label
+    CBR = "cbr"        # if a <cond> b goto label
+    RET = "ret"
+
+
+@dataclass(frozen=True)
+class IRInstr:
+    """One IR instruction.
+
+    Only the fields relevant to ``op`` are populated; the rest stay at
+    their defaults.  ``dst=None`` on an RMW means the fetched value is
+    unused — the state the paper's Fig. 10 dead-register bugs key on.
+    """
+
+    op: IROp
+    dst: Optional[str] = None
+    a: Optional[Operand] = None
+    b: Optional[Operand] = None
+    bin_op: str = ""
+    loc: Optional[str] = None
+    order: MemoryOrder = MemoryOrder.NA
+    rmw_kind: str = ""
+    width: int = 32
+    label: Optional[str] = None
+    cond: str = ""
+
+    def uses(self) -> FrozenSet[str]:
+        """Virtual registers this instruction reads."""
+        out = set()
+        for operand in (self.a, self.b):
+            if isinstance(operand, str):
+                out.add(operand)
+        return frozenset(out)
+
+    def defines(self) -> Optional[str]:
+        return self.dst
+
+    def is_memory(self) -> bool:
+        return self.op in (IROp.LOAD, IROp.STORE, IROp.RMW)
+
+    def is_atomic(self) -> bool:
+        return self.is_memory() and self.order is not MemoryOrder.NA
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.op is IROp.CONST:
+            return f"{self.dst} = {self.a}"
+        if self.op is IROp.BIN:
+            return f"{self.dst} = {self.a} {self.bin_op} {self.b}"
+        if self.op is IROp.LOAD:
+            return f"{self.dst} = load[{self.order.name}] {self.loc}"
+        if self.op is IROp.STORE:
+            return f"store[{self.order.name}] {self.loc} := {self.a}"
+        if self.op is IROp.RMW:
+            return (
+                f"{self.dst or '_'} = rmw.{self.rmw_kind}[{self.order.name}] "
+                f"{self.loc}, {self.a}"
+            )
+        if self.op is IROp.FENCE:
+            return f"fence[{self.order.name}]"
+        if self.op is IROp.LABEL:
+            return f"{self.label}:"
+        if self.op is IROp.BR:
+            return f"br {self.label}"
+        if self.op is IROp.CBR:
+            return f"if {self.a} {self.cond} {self.b} br {self.label}"
+        return self.op.value
+
+
+@dataclass
+class IRFunction:
+    """One compiled thread: name, pointer parameters, linear body."""
+
+    name: str
+    params: Tuple[str, ...]
+    body: List[IRInstr]
+    #: parameters declared ``atomic_int*`` in the source.
+    atomic_params: Tuple[str, ...] = ()
+    #: locals the final-state condition observes (must stay addressable
+    #: for mcompare; the l2c augmentation of §IV-B persists them).
+    observed_locals: Tuple[str, ...] = ()
+
+    def labels(self) -> Dict[str, int]:
+        return {
+            instr.label: index
+            for index, instr in enumerate(self.body)
+            if instr.op is IROp.LABEL and instr.label
+        }
+
+    def pretty(self) -> str:
+        lines = [f"func {self.name}({', '.join(self.params)}):"]
+        for instr in self.body:
+            indent = "" if instr.op is IROp.LABEL else "  "
+            lines.append(f"{indent}{instr}")
+        return "\n".join(lines)
+
+
+@dataclass
+class IRProgram:
+    """All threads of a litmus test, ready for code generation."""
+
+    name: str
+    functions: Tuple[IRFunction, ...]
+    init: Dict[str, int]
+    widths: Dict[str, int] = field(default_factory=dict)
+    const_locations: Tuple[str, ...] = ()
+
+    def function(self, name: str) -> IRFunction:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)

@@ -1,0 +1,204 @@
+"""Lowering: C litmus AST → IR.
+
+A structural translation — no optimisation happens here.  Control flow
+becomes labels and conditional branches; expressions flatten to
+three-address form with fresh temporaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import CompilationError
+from ..core.events import MemoryOrder
+from ..lang.ast import (
+    Assign,
+    AtomicLoad,
+    AtomicRMW,
+    AtomicStore,
+    BinExpr,
+    CExpr,
+    CLitmus,
+    CStmt,
+    CThread,
+    Decl,
+    ExprStmt,
+    Fence,
+    If,
+    IntLit,
+    PlainLoad,
+    PlainStore,
+    UnExpr,
+    Var,
+    While,
+)
+from .ir import IRFunction, IRInstr, IROp, IRProgram, Operand
+
+
+class _FunctionLowerer:
+    """Lowers one thread body."""
+
+    def __init__(self, thread: CThread, litmus: CLitmus) -> None:
+        self.thread = thread
+        self.litmus = litmus
+        self.body: List[IRInstr] = []
+        self.next_temp = 0
+        self.next_label = 0
+
+    def fresh_temp(self) -> str:
+        name = f"%t{self.next_temp}"
+        self.next_temp += 1
+        return name
+
+    def fresh_label(self, hint: str) -> str:
+        name = f".L{self.thread.name}_{hint}{self.next_label}"
+        self.next_label += 1
+        return name
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> IRFunction:
+        for stmt in self.thread.body:
+            self.lower_stmt(stmt)
+        self.body.append(IRInstr(op=IROp.RET))
+        observed = tuple(
+            self.litmus.locals_read_in_condition().get(self.thread.name, ())
+        )
+        return IRFunction(
+            name=self.thread.name,
+            params=self.thread.params,
+            body=self.body,
+            atomic_params=self.thread.atomic_params,
+            observed_locals=observed,
+        )
+
+    # ------------------------------------------------------------------ #
+    def lower_stmt(self, stmt: CStmt) -> None:
+        if isinstance(stmt, (Decl, Assign)):
+            value = self.lower_expr(stmt.expr)
+            self.emit_assign(stmt.var, value)
+        elif isinstance(stmt, PlainStore):
+            value = self.lower_expr(stmt.expr)
+            self.body.append(
+                IRInstr(op=IROp.STORE, loc=stmt.loc, a=value,
+                        order=MemoryOrder.NA, width=self.litmus.width_of(stmt.loc))
+            )
+        elif isinstance(stmt, AtomicStore):
+            value = self.lower_expr(stmt.expr)
+            self.body.append(
+                IRInstr(op=IROp.STORE, loc=stmt.loc, a=value, order=stmt.order,
+                        width=self.litmus.width_of(stmt.loc))
+            )
+        elif isinstance(stmt, Fence):
+            if stmt.order is not MemoryOrder.NA and stmt.order is not MemoryOrder.RLX:
+                self.body.append(IRInstr(op=IROp.FENCE, order=stmt.order))
+            # a relaxed fence compiles to nothing (paper Fig. 7): it only
+            # constrains compiler reorderings that our IR never performs
+            # across atomics anyway
+        elif isinstance(stmt, ExprStmt):
+            self.lower_expr(stmt.expr, result_used=False)
+        elif isinstance(stmt, If):
+            self.lower_if(stmt)
+        elif isinstance(stmt, While):
+            self.lower_while(stmt)
+        else:
+            raise CompilationError(f"cannot lower statement {stmt!r}")
+
+    def emit_assign(self, var: str, value: Operand) -> None:
+        if isinstance(value, int):
+            self.body.append(IRInstr(op=IROp.CONST, dst=var, a=value))
+        elif value != var:
+            # register copy: dst := value + 0 folds away in the back-end
+            self.body.append(IRInstr(op=IROp.BIN, dst=var, a=value, b=0, bin_op="+"))
+
+    def lower_if(self, stmt: If) -> None:
+        cond = self.lower_expr(stmt.cond)
+        else_label = self.fresh_label("else")
+        end_label = self.fresh_label("end")
+        self.body.append(
+            IRInstr(op=IROp.CBR, a=cond, b=0, cond="eq",
+                    label=else_label if stmt.else_body else end_label)
+        )
+        for inner in stmt.then_body:
+            self.lower_stmt(inner)
+        if stmt.else_body:
+            self.body.append(IRInstr(op=IROp.BR, label=end_label))
+            self.body.append(IRInstr(op=IROp.LABEL, label=else_label))
+            for inner in stmt.else_body:
+                self.lower_stmt(inner)
+        self.body.append(IRInstr(op=IROp.LABEL, label=end_label))
+
+    def lower_while(self, stmt: While) -> None:
+        head = self.fresh_label("loop")
+        end = self.fresh_label("endloop")
+        self.body.append(IRInstr(op=IROp.LABEL, label=head))
+        cond = self.lower_expr(stmt.cond)
+        self.body.append(IRInstr(op=IROp.CBR, a=cond, b=0, cond="eq", label=end))
+        for inner in stmt.body:
+            self.lower_stmt(inner)
+        self.body.append(IRInstr(op=IROp.BR, label=head))
+        self.body.append(IRInstr(op=IROp.LABEL, label=end))
+
+    # ------------------------------------------------------------------ #
+    def lower_expr(self, expr: CExpr, result_used: bool = True) -> Operand:
+        if isinstance(expr, IntLit):
+            return expr.value
+        if isinstance(expr, Var):
+            return expr.name
+        if isinstance(expr, BinExpr):
+            left = self.lower_expr(expr.left)
+            right = self.lower_expr(expr.right)
+            dst = self.fresh_temp()
+            self.body.append(
+                IRInstr(op=IROp.BIN, dst=dst, a=left, b=right, bin_op=expr.op)
+            )
+            return dst
+        if isinstance(expr, UnExpr):
+            inner = self.lower_expr(expr.operand)
+            dst = self.fresh_temp()
+            if expr.op == "-":
+                self.body.append(IRInstr(op=IROp.BIN, dst=dst, a=0, b=inner, bin_op="-"))
+            elif expr.op == "!":
+                self.body.append(IRInstr(op=IROp.BIN, dst=dst, a=inner, b=0, bin_op="=="))
+            elif expr.op == "~":
+                self.body.append(IRInstr(op=IROp.BIN, dst=dst, a=inner, b=-1, bin_op="^"))
+            else:
+                raise CompilationError(f"cannot lower unary {expr.op!r}")
+            return dst
+        if isinstance(expr, PlainLoad):
+            dst = self.fresh_temp()
+            self.body.append(
+                IRInstr(op=IROp.LOAD, dst=dst, loc=expr.loc, order=MemoryOrder.NA,
+                        width=self.litmus.width_of(expr.loc))
+            )
+            return dst
+        if isinstance(expr, AtomicLoad):
+            dst = self.fresh_temp()
+            self.body.append(
+                IRInstr(op=IROp.LOAD, dst=dst, loc=expr.loc, order=expr.order,
+                        width=self.litmus.width_of(expr.loc))
+            )
+            return dst
+        if isinstance(expr, AtomicRMW):
+            operand = self.lower_expr(expr.operand)
+            dst = self.fresh_temp() if result_used else None
+            kind = "swap" if expr.kind == "xchg" else expr.kind
+            self.body.append(
+                IRInstr(op=IROp.RMW, dst=dst, rmw_kind=kind, loc=expr.loc,
+                        a=operand, order=expr.order,
+                        width=self.litmus.width_of(expr.loc))
+            )
+            return dst if dst is not None else 0
+        raise CompilationError(f"cannot lower expression {expr!r}")
+
+
+def lower(litmus: CLitmus) -> IRProgram:
+    """Lower every thread of a C litmus test to IR."""
+    functions = tuple(_FunctionLowerer(t, litmus).run() for t in litmus.threads)
+    return IRProgram(
+        name=litmus.name,
+        functions=functions,
+        init=dict(litmus.init),
+        widths=dict(litmus.widths),
+        const_locations=litmus.const_locations,
+    )

@@ -1,0 +1,175 @@
+"""The relocatable object file model (paper §III-D).
+
+Real T´el´echat compiles with ``-c -g`` and reads the ELF: sections lay
+locations out at numeric addresses, the symbol table names their extents,
+relocations mark address-materialisation sites, and DWARF maps source
+variables to machine locations.  This module models exactly that
+*information content* — everything ``s2l`` needs to bridge the numeric
+address view of compiled code back to the symbolic view of litmus tests.
+
+Layout convention (documented so tests can assert on it):
+
+* ``.data``   base ``0x11000`` — mutable shared locations,
+* ``.rodata`` base ``0x12000`` — ``const`` locations,
+* ``.got``    base ``0x13000`` — one 8-byte slot per PIC-addressed symbol,
+* per-thread stacks at ``0x7f0000 + tid * 0x1000``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..asm.isa.base import Instruction, Op
+from .codegen import CompiledThread, CompiledUnit
+
+DATA_BASE = 0x11000
+RODATA_BASE = 0x12000
+GOT_BASE = 0x13000
+STACK_BASE = 0x7F0000
+STACK_STRIDE = 0x1000
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A symbol-table entry: name, section, address and size in bytes."""
+
+    name: str
+    section: str
+    address: int
+    size: int
+
+    def covers(self, address: int) -> bool:
+        return self.address <= address < self.address + self.size
+
+
+@dataclass(frozen=True)
+class Relocation:
+    """A relocation record: *this instruction materialises that symbol*.
+
+    ``kind`` is ``"GOT"`` for GOT-slot references (PIC) and ``"ABS"`` for
+    direct address materialisation.
+    """
+
+    thread: str
+    instr_index: int
+    symbol: str
+    kind: str
+
+
+@dataclass
+class DebugInfo:
+    """The DWARF-like metadata c2s preserves.
+
+    ``var_registers[thread][local]`` names the machine register holding a
+    source local at function exit; missing entries mean the compiler
+    deleted the local (§IV-B).  ``stack_symbols`` names each thread's
+    spill region.
+    """
+
+    var_registers: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    stack_symbols: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ObjectFile:
+    """A compiled, relocatable translation unit."""
+
+    name: str
+    arch: str
+    profile_name: str
+    text: Dict[str, List[Instruction]]
+    symbols: List[Symbol]
+    relocations: List[Relocation]
+    got_entries: Dict[str, str]            # got slot symbol -> target symbol
+    debug: DebugInfo
+    init: Dict[str, int]
+    widths: Dict[str, int]
+    const_locations: Tuple[str, ...] = ()
+    stack_sizes: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def symbol(self, name: str) -> Symbol:
+        for sym in self.symbols:
+            if sym.name == name:
+                return sym
+        raise KeyError(name)
+
+    def address_of(self, name: str) -> int:
+        return self.symbol(name).address
+
+    def symbol_at(self, address: int) -> Optional[Symbol]:
+        """Symbol-table lookup by address — how s2l resolves the numeric
+        operands the disassembler prints."""
+        for sym in self.symbols:
+            if sym.covers(address):
+                return sym
+        return None
+
+    def layout(self) -> Dict[str, int]:
+        return {sym.name: sym.address for sym in self.symbols}
+
+
+def link_layout(unit: CompiledUnit) -> ObjectFile:
+    """Assign section addresses and build the object-file metadata."""
+    symbols: List[Symbol] = []
+    # .data / .rodata: the shared locations
+    data_cursor, rodata_cursor = DATA_BASE, RODATA_BASE
+    for loc in sorted(unit.init):
+        size = max(unit.widths.get(loc, 32) // 8, 4)
+        aligned = max(size, 16) if size > 8 else 8
+        if loc in unit.const_locations:
+            symbols.append(Symbol(loc, ".rodata", rodata_cursor, size))
+            rodata_cursor += aligned
+        else:
+            symbols.append(Symbol(loc, ".data", data_cursor, size))
+            data_cursor += aligned
+    # .got
+    got_entries: Dict[str, str] = {}
+    got_cursor = GOT_BASE
+    for thread in unit.threads:
+        for slot in thread.got_slots:
+            if slot not in got_entries:
+                got_entries[slot] = slot[len("got_"):]
+                symbols.append(Symbol(slot, ".got", got_cursor, 8))
+                got_cursor += 8
+    # stacks
+    stack_sizes: Dict[str, int] = {}
+    debug = DebugInfo()
+    for index, thread in enumerate(unit.threads):
+        if thread.stack_size:
+            name = f"stack_{thread.name}"
+            symbols.append(
+                Symbol(name, ".stack", STACK_BASE + index * STACK_STRIDE,
+                       thread.stack_size)
+            )
+            debug.stack_symbols[thread.name] = name
+            stack_sizes[thread.name] = thread.stack_size
+        debug.var_registers[thread.name] = dict(thread.reg_of_observed)
+
+    # relocations: every MOVADDR site references a symbol
+    relocations: List[Relocation] = []
+    text: Dict[str, List[Instruction]] = {}
+    for thread in unit.threads:
+        text[thread.name] = list(thread.instructions)
+        for index, instr in enumerate(thread.instructions):
+            if instr.op is Op.MOVADDR and instr.symbol:
+                kind = "GOT" if instr.symbol.startswith("got_") else "ABS"
+                relocations.append(
+                    Relocation(thread.name, index, instr.symbol, kind)
+                )
+
+    return ObjectFile(
+        name=unit.name,
+        arch=unit.arch,
+        profile_name=unit.profile.name,
+        text=text,
+        symbols=symbols,
+        relocations=relocations,
+        got_entries=got_entries,
+        debug=debug,
+        init=dict(unit.init),
+        widths=dict(unit.widths),
+        const_locations=unit.const_locations,
+        stack_sizes=stack_sizes,
+    )

@@ -1,0 +1,169 @@
+"""Compiler profiles: tool-chain × flags × architecture (paper §IV-D).
+
+A *profile* captures everything T´el´echat needs to know about one
+compiler-under-test configuration: which compiler and version, the
+optimisation level, the target architecture (and its model), the
+architecture extensions in play (LSE atomics, RCpc LDAPR, v8.4 128-bit
+single-copy-atomic pairs), and which historical bugs the version carries.
+
+Profile names follow the paper's artefact convention, e.g.
+``llvm-O3-AArch64`` — resolved against a compiler *epoch* (``llvm-11`` is
+the buggy past version, ``llvm-16`` the current one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..core.errors import CompilationError
+from . import bugs
+
+#: Optimisation levels, per compiler (paper Table III; clang has no -Og).
+LLVM_OPT_LEVELS = ("-O0", "-O1", "-O2", "-O3", "-Ofast")
+GCC_OPT_LEVELS = ("-O0", "-O1", "-O2", "-O3", "-Ofast", "-Og")
+
+#: Architectures under test (paper Table III) and their litmus arch names.
+ARCHES = ("aarch64", "armv7", "x86_64", "riscv64", "ppc64", "mips64")
+
+_ARCH_ALIASES = {
+    "aarch64": "AArch64",
+    "armv7": "ARM",
+    "x86_64": "x86-64",
+    "riscv64": "RISC-V",
+    "ppc64": "PPC",
+    "mips64": "MIPS",
+}
+
+
+@dataclass(frozen=True)
+class CompilerProfile:
+    """One compiler-under-test configuration."""
+
+    compiler: str              # "llvm" | "gcc"
+    version: int               # e.g. 11, 16 (llvm); 9, 12 (gcc)
+    opt: str                   # "-O0" … "-Ofast", "-Og"
+    arch: str                  # litmus arch name ("aarch64", …)
+    #: Armv8.1 Large Systems Extension: LSE atomics (LDADD/SWP…).
+    lse: bool = False
+    #: Armv8.3 RCpc: acquire loads compile to LDAPR instead of LDAR.
+    rcpc: bool = False
+    #: Armv8.4 LSE2: 16-byte aligned LDP/STP are single-copy atomic.
+    v84: bool = False
+    #: position-independent code: shared-location addresses load from the
+    #: GOT (one extra read event per access before s2l optimisation).
+    pic: bool = True
+    #: historical bug flags carried by this compiler version (see bugs.py).
+    bug_flags: FrozenSet[str] = frozenset()
+
+    @property
+    def name(self) -> str:
+        level = self.opt.lstrip("-")
+        return f"{self.compiler}-{level}-{_ARCH_ALIASES.get(self.arch, self.arch)}"
+
+    @property
+    def opt_rank(self) -> int:
+        """Numeric optimisation strength: -O0/-Og < -O1 < -O2 <= -O3/-Ofast."""
+        return {"-O0": 0, "-Og": 0, "-O1": 1, "-O2": 2, "-O3": 3, "-Ofast": 3}[self.opt]
+
+    def has_bug(self, flag: str) -> bool:
+        return flag in self.bug_flags
+
+    def with_bugs(self, *flags: str) -> "CompilerProfile":
+        return replace(self, bug_flags=self.bug_flags | frozenset(flags))
+
+    def without_bugs(self, *flags: str) -> "CompilerProfile":
+        return replace(self, bug_flags=self.bug_flags - frozenset(flags))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.compiler}-{self.version} {self.opt} → {self.arch}"
+
+
+#: Bug sets per compiler epoch (paper §IV-B/C; see bugs.py for details).
+_EPOCH_BUGS: Dict[Tuple[str, int], FrozenSet[str]] = {
+    # the "past versions of LLVM and GCC" of Fig. 10
+    ("llvm", 11): frozenset({
+        bugs.RMW_ST_FORM,
+        bugs.XCHG_DROP_READ,
+        bugs.ATOMIC_128_VIA_LOOP,
+    }),
+    ("gcc", 9): frozenset({
+        bugs.RMW_ST_FORM,
+        bugs.ATOMIC_128_VIA_LOOP,
+        bugs.ARMV7_O1_CTRL_DROP,
+    }),
+    # current versions: Fig. 10 bugs fixed; the 2023 reports [37][38][39]
+    # were found by the paper against these
+    ("llvm", 16): frozenset({
+        bugs.XCHG_DROP_READ,
+        bugs.LDP_SEQCST_UNORDERED,
+        bugs.STP_WRONG_ENDIAN,
+    }),
+    ("gcc", 12): frozenset({
+        bugs.ARMV7_O1_CTRL_DROP,
+    }),
+    # hypothetical fully fixed versions (for the "validate the fix" flows)
+    ("llvm", 17): frozenset(),
+    ("gcc", 13): frozenset(),
+}
+
+#: Default (current) version per compiler.
+DEFAULT_VERSION = {"llvm": 16, "gcc": 12}
+
+
+def make_profile(
+    compiler: str,
+    opt: str,
+    arch: str,
+    version: Optional[int] = None,
+    lse: Optional[bool] = None,
+    rcpc: bool = False,
+    v84: bool = False,
+    pic: bool = True,
+) -> CompilerProfile:
+    """Build a profile, validating paper Table III's combinations."""
+    if compiler not in ("llvm", "gcc"):
+        raise CompilationError(f"unknown compiler {compiler!r}")
+    levels = LLVM_OPT_LEVELS if compiler == "llvm" else GCC_OPT_LEVELS
+    if opt not in levels:
+        raise CompilationError(
+            f"{compiler} does not support {opt} (paper Tab. IV: clang has no -Og)"
+        )
+    if arch not in ARCHES:
+        raise CompilationError(f"unknown architecture {arch!r}")
+    if version is None:
+        version = DEFAULT_VERSION[compiler]
+    key = (compiler, version)
+    if key not in _EPOCH_BUGS:
+        raise CompilationError(
+            f"unknown compiler epoch {compiler}-{version}; known: "
+            f"{sorted(_EPOCH_BUGS)}"
+        )
+    if lse is None:
+        lse = arch == "aarch64"  # default to Armv8.1-a for AArch64
+    return CompilerProfile(
+        compiler=compiler,
+        version=version,
+        opt=opt,
+        arch=arch,
+        lse=lse and arch == "aarch64",
+        rcpc=rcpc and arch == "aarch64",
+        v84=v84 and arch == "aarch64",
+        pic=pic,
+        bug_flags=_EPOCH_BUGS[key],
+    )
+
+
+def default_profiles(arch: str, opts: Optional[List[str]] = None) -> List[CompilerProfile]:
+    """The per-architecture profile set of the paper's campaign (Tab. III):
+    LLVM and GCC at every supported optimisation level."""
+    out = []
+    for compiler in ("llvm", "gcc"):
+        levels = LLVM_OPT_LEVELS if compiler == "llvm" else GCC_OPT_LEVELS
+        for opt in levels:
+            if opt == "-O0":
+                continue  # the campaign tests -O1 and above (Tab. IV)
+            if opts and opt not in opts:
+                continue
+            out.append(make_profile(compiler, opt, arch))
+    return out

@@ -1,0 +1,64 @@
+"""Core data structures: events, relations, executions, litmus skeletons."""
+
+from .events import INIT_TID, Event, EventKind, MemoryOrder, make_init_writes
+from .execution import Execution, Outcome
+from .expr import BinOp, Const, Expr, ReadVal, UnOp, const, is_constant
+from .litmus import (
+    And,
+    Condition,
+    LitmusBase,
+    LocEq,
+    Not,
+    Or,
+    Prop,
+    RegEq,
+    TrueProp,
+    conj,
+)
+from .relations import Relation
+from .errors import (
+    CompilationError,
+    ConstViolation,
+    MappingError,
+    ModelError,
+    ParseError,
+    ReproError,
+    SimulationError,
+    SimulationTimeout,
+)
+
+__all__ = [
+    "INIT_TID",
+    "Event",
+    "EventKind",
+    "MemoryOrder",
+    "make_init_writes",
+    "Execution",
+    "Outcome",
+    "BinOp",
+    "Const",
+    "Expr",
+    "ReadVal",
+    "UnOp",
+    "const",
+    "is_constant",
+    "And",
+    "Condition",
+    "LitmusBase",
+    "LocEq",
+    "Not",
+    "Or",
+    "Prop",
+    "RegEq",
+    "TrueProp",
+    "conj",
+    "Relation",
+    "CompilationError",
+    "ConstViolation",
+    "MappingError",
+    "ModelError",
+    "ParseError",
+    "ReproError",
+    "SimulationError",
+    "SimulationTimeout",
+]

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ParseError(ReproError):
+    """A litmus test, Cat model or assembly file failed to parse."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" at line {line}" if line else ""
+        location += f", column {column}" if column else ""
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class ModelError(ReproError):
+    """A Cat model referenced an unknown relation/set or misused an operator."""
+
+
+class SimulationError(ReproError):
+    """The herd-style simulator could not enumerate executions."""
+
+
+class SimulationTimeout(SimulationError):
+    """Enumeration exceeded the configured budget (state explosion, §IV-E)."""
+
+    def __init__(self, message: str, candidates_explored: int = 0) -> None:
+        super().__init__(message)
+        self.candidates_explored = candidates_explored
+
+
+class CompilationError(ReproError):
+    """The miniature compiler rejected or crashed on an input (ICE analogue)."""
+
+
+class ConstViolation(ReproError):
+    """A write reached read-only memory — the run-time crash analogue of the
+    128-bit const atomic load bug (paper §IV-E, LLVM issue 61770)."""
+
+    def __init__(self, location: str, instruction: str = "") -> None:
+        detail = f" by {instruction}" if instruction else ""
+        super().__init__(f"write to read-only location {location!r}{detail}")
+        self.location = location
+        self.instruction = instruction
+
+
+class MappingError(ReproError):
+    """mcompare could not map compiled observables back to source names."""

@@ -1,0 +1,179 @@
+"""Symbolic value expressions.
+
+During thread-local symbolic execution (both of C litmus threads and of
+compiled assembly), the value loaded by each read is unknown until an rf
+(reads-from) choice is made.  Registers and written values are therefore
+*expressions* over read placeholders.  The herd enumerator later solves
+them: once each read is wired to a source write, values are computed by
+evaluating expressions in topological order of ``data-dependency ∪ rf``.
+
+The expression language is deliberately small: constants, read
+placeholders, unary/binary integer operations, and comparisons (which
+evaluate to 0/1 as in C).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Mapping
+
+
+class Expr:
+    """Base class for value expressions."""
+
+    def reads(self) -> FrozenSet[int]:
+        """The set of read-event ids this expression depends on (data deps)."""
+        raise NotImplementedError
+
+    def eval(self, env: Mapping[int, int]) -> int:
+        """Evaluate under a read-id -> value environment."""
+        raise NotImplementedError
+
+    def substitute(self, env: Mapping[int, int]) -> "Expr":
+        """Partially evaluate: replace known reads with constants."""
+        raise NotImplementedError
+
+    # conveniences so semantics code reads naturally ---------------------- #
+    def __add__(self, other: "Expr") -> "Expr":
+        return BinOp("+", self, other)
+
+    def __sub__(self, other: "Expr") -> "Expr":
+        return BinOp("-", self, other)
+
+    def __mul__(self, other: "Expr") -> "Expr":
+        return BinOp("*", self, other)
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal integer."""
+
+    value: int
+
+    def reads(self) -> FrozenSet[int]:
+        return frozenset()
+
+    def eval(self, env: Mapping[int, int]) -> int:
+        return self.value
+
+    def substitute(self, env: Mapping[int, int]) -> Expr:
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class ReadVal(Expr):
+    """The value returned by the read event with id ``read_eid``."""
+
+    read_eid: int
+
+    def reads(self) -> FrozenSet[int]:
+        return frozenset({self.read_eid})
+
+    def eval(self, env: Mapping[int, int]) -> int:
+        if self.read_eid not in env:
+            raise KeyError(f"read {self.read_eid} unresolved")
+        return env[self.read_eid]
+
+    def substitute(self, env: Mapping[int, int]) -> Expr:
+        if self.read_eid in env:
+            return Const(env[self.read_eid])
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"r@{self.read_eid}"
+
+
+_BINOPS: Dict[str, Callable[[int, int], int]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": lambda a, b: a // b if b else 0,
+    "%": lambda a, b: a % b if b else 0,
+    "&": operator.and_,
+    "|": operator.or_,
+    "^": operator.xor,
+    "<<": lambda a, b: a << (b & 127),
+    ">>": lambda a, b: a >> (b & 127),
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+    "&&": lambda a, b: int(bool(a) and bool(b)),
+    "||": lambda a, b: int(bool(a) or bool(b)),
+}
+
+_UNOPS: Dict[str, Callable[[int], int]] = {
+    "-": operator.neg,
+    "!": lambda a: int(not a),
+    "~": operator.invert,
+}
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """A binary operation; comparisons yield 0/1 as in C."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _BINOPS:
+            raise ValueError(f"unknown binary operator {self.op!r}")
+
+    def reads(self) -> FrozenSet[int]:
+        return self.left.reads() | self.right.reads()
+
+    def eval(self, env: Mapping[int, int]) -> int:
+        return _BINOPS[self.op](self.left.eval(env), self.right.eval(env))
+
+    def substitute(self, env: Mapping[int, int]) -> Expr:
+        left = self.left.substitute(env)
+        right = self.right.substitute(env)
+        if isinstance(left, Const) and isinstance(right, Const):
+            return Const(_BINOPS[self.op](left.value, right.value))
+        return BinOp(self.op, left, right)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    """A unary operation."""
+
+    op: str
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _UNOPS:
+            raise ValueError(f"unknown unary operator {self.op!r}")
+
+    def reads(self) -> FrozenSet[int]:
+        return self.operand.reads()
+
+    def eval(self, env: Mapping[int, int]) -> int:
+        return _UNOPS[self.op](self.operand.eval(env))
+
+    def substitute(self, env: Mapping[int, int]) -> Expr:
+        inner = self.operand.substitute(env)
+        if isinstance(inner, Const):
+            return Const(_UNOPS[self.op](inner.value))
+        return UnOp(self.op, inner)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.op}{self.operand!r}"
+
+
+def const(value: int) -> Const:
+    return Const(value)
+
+
+def is_constant(expr: Expr) -> bool:
+    return isinstance(expr, Const)

@@ -1,0 +1,266 @@
+"""A small relational algebra over event ids.
+
+Memory models in the Cat language (Alglave et al. [2]) are predicates over
+relations between events: unions, intersections, sequential composition,
+transitive closures, inverses and identity restrictions, finished off with
+``acyclic`` / ``irreflexive`` / ``empty`` checks.  This module provides an
+immutable :class:`Relation` value type implementing exactly that vocabulary,
+used both by the Cat interpreter and directly by Python-coded models.
+
+Relations are sets of ``(eid, eid)`` pairs.  All operations return new
+relations; nothing mutates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+Pair = Tuple[int, int]
+
+
+class Relation:
+    """An immutable binary relation over event ids."""
+
+    __slots__ = ("_pairs", "_succ_cache")
+
+    def __init__(self, pairs: Iterable[Pair] = ()) -> None:
+        self._pairs: FrozenSet[Pair] = frozenset(pairs)
+        self._succ_cache: Dict[int, Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def empty() -> "Relation":
+        return _EMPTY
+
+    @staticmethod
+    def identity(elements: Iterable[int]) -> "Relation":
+        """``[S]`` — the identity relation restricted to ``elements``."""
+        return Relation((e, e) for e in elements)
+
+    @staticmethod
+    def cartesian(domain: Iterable[int], codomain: Iterable[int]) -> "Relation":
+        """``A * B`` — all pairs from ``domain`` to ``codomain``."""
+        cod = tuple(codomain)
+        return Relation((a, b) for a in domain for b in cod)
+
+    @staticmethod
+    def from_order(chain: Iterable[int]) -> "Relation":
+        """The strict total order induced by a sequence (transitive)."""
+        items = list(chain)
+        return Relation(
+            (items[i], items[j])
+            for i in range(len(items))
+            for j in range(i + 1, len(items))
+        )
+
+    @staticmethod
+    def from_successive(chain: Iterable[int]) -> "Relation":
+        """Adjacent pairs of a sequence (the immediate-successor relation)."""
+        items = list(chain)
+        return Relation(zip(items, items[1:]))
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def pairs(self) -> FrozenSet[Pair]:
+        return self._pairs
+
+    def __iter__(self) -> Iterator[Pair]:
+        return iter(self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __bool__(self) -> bool:
+        return bool(self._pairs)
+
+    def __contains__(self, pair: Pair) -> bool:
+        return pair in self._pairs
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Relation) and self._pairs == other._pairs
+
+    def __hash__(self) -> int:
+        return hash(self._pairs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{a}->{b}" for a, b in sorted(self._pairs))
+        return f"Relation({{{inner}}})"
+
+    # ------------------------------------------------------------------ #
+    # the cat operator suite
+    # ------------------------------------------------------------------ #
+    def union(self, *others: "Relation") -> "Relation":
+        pairs: Set[Pair] = set(self._pairs)
+        for other in others:
+            pairs |= other._pairs
+        return Relation(pairs)
+
+    def intersection(self, other: "Relation") -> "Relation":
+        return Relation(self._pairs & other._pairs)
+
+    def difference(self, other: "Relation") -> "Relation":
+        return Relation(self._pairs - other._pairs)
+
+    def __or__(self, other: "Relation") -> "Relation":
+        return self.union(other)
+
+    def __and__(self, other: "Relation") -> "Relation":
+        return self.intersection(other)
+
+    def __sub__(self, other: "Relation") -> "Relation":
+        return self.difference(other)
+
+    def inverse(self) -> "Relation":
+        """``r^-1``"""
+        return Relation((b, a) for a, b in self._pairs)
+
+    def _successors(self) -> Dict[int, Tuple[int, ...]]:
+        if not self._succ_cache and self._pairs:
+            succ: Dict[int, List[int]] = {}
+            for a, b in self._pairs:
+                succ.setdefault(a, []).append(b)
+            self._succ_cache.update({k: tuple(v) for k, v in succ.items()})
+        return self._succ_cache
+
+    def compose(self, other: "Relation") -> "Relation":
+        """``self ; other`` — sequential composition."""
+        succ = other._successors()
+        out: Set[Pair] = set()
+        for a, b in self._pairs:
+            for c in succ.get(b, ()):
+                out.add((a, c))
+        return Relation(out)
+
+    def seq(self, *others: "Relation") -> "Relation":
+        rel = self
+        for other in others:
+            rel = rel.compose(other)
+        return rel
+
+    def transitive_closure(self) -> "Relation":
+        """``r^+`` via repeated squaring over the adjacency sets."""
+        succ: Dict[int, Set[int]] = {}
+        for a, b in self._pairs:
+            succ.setdefault(a, set()).add(b)
+        changed = True
+        while changed:
+            changed = False
+            for a in list(succ):
+                reachable = succ[a]
+                extra: Set[int] = set()
+                for b in reachable:
+                    extra |= succ.get(b, set())
+                new = extra - reachable
+                if new:
+                    reachable |= new
+                    changed = True
+        return Relation((a, b) for a, targets in succ.items() for b in targets)
+
+    def reflexive_transitive_closure(self, universe: Iterable[int]) -> "Relation":
+        """``r^*`` — needs the event universe to add the identity."""
+        return self.transitive_closure() | Relation.identity(universe)
+
+    def optional(self, universe: Iterable[int]) -> "Relation":
+        """``r?`` — reflexive closure over the universe."""
+        return self | Relation.identity(universe)
+
+    # ------------------------------------------------------------------ #
+    # restrictions
+    # ------------------------------------------------------------------ #
+    def restrict_domain(self, elements: Iterable[int]) -> "Relation":
+        allowed = set(elements)
+        return Relation(p for p in self._pairs if p[0] in allowed)
+
+    def restrict_range(self, elements: Iterable[int]) -> "Relation":
+        allowed = set(elements)
+        return Relation(p for p in self._pairs if p[1] in allowed)
+
+    def restrict(self, elements: Iterable[int]) -> "Relation":
+        allowed = set(elements)
+        return Relation(p for p in self._pairs if p[0] in allowed and p[1] in allowed)
+
+    def filter(self, predicate: Callable[[int, int], bool]) -> "Relation":
+        return Relation(p for p in self._pairs if predicate(*p))
+
+    def domain(self) -> FrozenSet[int]:
+        return frozenset(a for a, _ in self._pairs)
+
+    def codomain(self) -> FrozenSet[int]:
+        return frozenset(b for _, b in self._pairs)
+
+    def field(self) -> FrozenSet[int]:
+        return self.domain() | self.codomain()
+
+    # ------------------------------------------------------------------ #
+    # checks
+    # ------------------------------------------------------------------ #
+    def is_irreflexive(self) -> bool:
+        return all(a != b for a, b in self._pairs)
+
+    def is_acyclic(self) -> bool:
+        """True iff the relation (viewed as a digraph) has no cycle.
+
+        Iterative DFS with colouring; self-loops count as cycles.
+        """
+        succ = self._successors()
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: Dict[int, int] = {}
+        for root in {a for a, _ in self._pairs}:
+            if colour.get(root, WHITE) is not WHITE:
+                continue
+            stack: List[Tuple[int, Iterator[int]]] = [(root, iter(succ.get(root, ())))]
+            colour[root] = GREY
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for child in it:
+                    c = colour.get(child, WHITE)
+                    if c == GREY:
+                        return False
+                    if c == WHITE:
+                        colour[child] = GREY
+                        stack.append((child, iter(succ.get(child, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+        return True
+
+    def is_empty(self) -> bool:
+        return not self._pairs
+
+    def is_total_over(self, elements: Iterable[int]) -> bool:
+        """True iff for every distinct a,b in elements, a->b or b->a holds."""
+        items = list(elements)
+        for i, a in enumerate(items):
+            for b in items[i + 1 :]:
+                if (a, b) not in self._pairs and (b, a) not in self._pairs:
+                    return False
+        return True
+
+    def topological_order(self) -> List[int]:
+        """A topological order of the field; raises ValueError on cycles."""
+        succ = self._successors()
+        indeg: Dict[int, int] = {n: 0 for n in self.field()}
+        for _, b in self._pairs:
+            indeg[b] += 1
+        ready = sorted(n for n, d in indeg.items() if d == 0)
+        out: List[int] = []
+        while ready:
+            node = ready.pop()
+            out.append(node)
+            for child in succ.get(node, ()):
+                indeg[child] -= 1
+                if indeg[child] == 0:
+                    ready.append(child)
+        if len(out) != len(indeg):
+            raise ValueError("relation is cyclic; no topological order exists")
+        return out
+
+
+_EMPTY = Relation()

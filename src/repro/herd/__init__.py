@@ -1,0 +1,23 @@
+"""The herd-style axiomatic simulator."""
+
+from .dot import execution_to_dot, simulation_to_dot
+from .enumerate import Budget, Candidate, EnumerationStats, enumerate_candidates
+from .simulator import SimulationResult, run_programs, simulate_asm, simulate_c
+from .templates import EventTemplate, PathConstraint, ThreadPath, ThreadProgram
+
+__all__ = [
+    "execution_to_dot",
+    "simulation_to_dot",
+    "Budget",
+    "Candidate",
+    "EnumerationStats",
+    "enumerate_candidates",
+    "SimulationResult",
+    "run_programs",
+    "simulate_asm",
+    "simulate_c",
+    "EventTemplate",
+    "PathConstraint",
+    "ThreadPath",
+    "ThreadProgram",
+]

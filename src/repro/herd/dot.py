@@ -1,0 +1,124 @@
+"""Graphviz rendering of candidate executions (the paper's Fig. 2 view).
+
+herd7 ships ``-show`` / ``-graph`` options that draw executions as DOT
+graphs; the paper's Fig. 2 is four such drawings of the Fig. 1 test.
+This module reproduces that: :func:`execution_to_dot` renders one
+execution, :func:`simulation_to_dot` a whole allowed set (one cluster per
+execution).
+
+Nodes are labelled herd-style (``a: W(Rlx)[x]=1``); the base relations
+get the conventional colours (po black, rf red, co blue, fr orange,
+dependencies dashed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.execution import Execution, Outcome
+from ..core.relations import Relation
+
+#: edge styles per relation: (colour, style).
+EDGE_STYLES: Dict[str, Tuple[str, str]] = {
+    "po": ("black", "solid"),
+    "rf": ("red", "solid"),
+    "co": ("blue", "solid"),
+    "fr": ("orange", "solid"),
+    "rmw": ("purple", "bold"),
+    "addr": ("gray40", "dashed"),
+    "data": ("gray40", "dashed"),
+    "ctrl": ("gray40", "dotted"),
+}
+
+
+def _transitive_reduction(rel: Relation) -> Relation:
+    """Drop edges implied by transitivity (po is stored transitively;
+    drawing every pair is unreadable — herd draws the Hasse diagram)."""
+    pairs = set(rel.pairs)
+    redundant = set()
+    for a, b in pairs:
+        for c, d in pairs:
+            if b == c and (a, d) in pairs:
+                redundant.add((a, d))
+    return Relation(pairs - redundant)
+
+
+def execution_to_dot(
+    execution: Execution,
+    name: str = "execution",
+    include_init: bool = False,
+    relations: Optional[Iterable[str]] = None,
+) -> str:
+    """Render one execution as a standalone DOT digraph."""
+    lines = [f"digraph {name} {{", "  rankdir=TB;",
+             '  node [shape=plaintext, fontname="monospace"];']
+    lines.extend(_body(execution, include_init, relations, indent="  "))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _body(
+    execution: Execution,
+    include_init: bool,
+    relations: Optional[Iterable[str]],
+    indent: str,
+    prefix: str = "e",
+) -> List[str]:
+    wanted = tuple(relations) if relations is not None else tuple(EDGE_STYLES)
+    lines: List[str] = []
+    visible = set()
+    for event in execution.events:
+        if event.is_init and not include_init:
+            continue
+        visible.add(event.eid)
+        label = event.pretty().replace('"', "'")
+        lines.append(f'{indent}{prefix}{event.eid} [label="{label}"];')
+    available: Dict[str, Relation] = {
+        "po": _transitive_reduction(execution.po),
+        "rf": execution.rf,
+        "co": _transitive_reduction(execution.co),
+        "fr": execution.fr,
+        "rmw": execution.rmw,
+        "addr": execution.addr,
+        "data": execution.data,
+        "ctrl": execution.ctrl,
+    }
+    for rel_name in wanted:
+        rel = available.get(rel_name)
+        if rel is None:
+            continue
+        colour, style = EDGE_STYLES[rel_name]
+        for a, b in sorted(rel.pairs):
+            if a not in visible or b not in visible:
+                continue
+            lines.append(
+                f'{indent}{prefix}{a} -> {prefix}{b} '
+                f'[label="{rel_name}", color={colour}, style={style}, '
+                f'fontcolor={colour}];'
+            )
+    return lines
+
+
+def simulation_to_dot(
+    executions: Iterable[Tuple[Execution, Outcome]],
+    name: str = "litmus",
+    include_init: bool = False,
+    relations: Optional[Iterable[str]] = None,
+) -> str:
+    """Render a set of (execution, outcome) pairs, one cluster each —
+    the Fig. 2 multi-panel layout.  Feed it
+    ``SimulationResult.executions`` (simulate with
+    ``keep_executions=True``)."""
+    lines = [f"digraph {name} {{", "  rankdir=TB;",
+             '  node [shape=plaintext, fontname="monospace"];']
+    for index, (execution, outcome) in enumerate(executions):
+        label = str(outcome).replace('"', "'")
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f'    label="{label}";')
+        lines.extend(
+            _body(execution, include_init, relations, indent="    ",
+                  prefix=f"x{index}_")
+        )
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)

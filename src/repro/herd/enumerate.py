@@ -1,0 +1,396 @@
+"""Candidate-execution enumeration (the core of the herd-style simulator).
+
+Given per-thread path sets, the enumerator generates every candidate
+execution of a litmus test:
+
+1. choose one control-flow path per thread,
+2. instantiate event templates with global ids; build ``po``, ``rmw`` and
+   dependency relations,
+3. choose an rf source for every read (init write, any other-thread write
+   to the same location, or a po-earlier same-thread write),
+4. solve values by evaluating along ``data-dependency ∪ rf``; reject
+   cyclic candidates (out-of-thin-air, forbidden by every shipped model)
+   and rf choices inconsistent with the chosen branch conditions,
+5. choose a coherence order: all interleavings of the writes per location
+   (init first) — the factorial factor behind the paper's §IV-E state
+   explosion,
+6. yield the resulting :class:`~repro.core.execution.Execution`.
+
+The ``Budget`` guards against the state explosion the paper describes:
+exceeding it raises :class:`~repro.core.errors.SimulationTimeout`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import SimulationTimeout
+from ..core.events import INIT_TID, Event, EventKind, MemoryOrder
+from ..core.execution import Execution
+from ..core.expr import Expr
+from ..core.relations import Relation
+from .templates import EventTemplate, PathConstraint, ThreadPath, ThreadProgram, rename_reads
+
+
+@dataclass
+class Budget:
+    """Bounds on enumeration work.
+
+    ``max_candidates`` caps the number of (rf × co) candidates considered;
+    ``deadline_seconds`` caps wall-clock time.  Either limit raises
+    :class:`SimulationTimeout` — the analogue of herd's one-hour timeout
+    on the paper's Fig. 11 test.
+    """
+
+    max_candidates: int = 2_000_000
+    deadline_seconds: Optional[float] = None
+    _start: float = field(default_factory=time.perf_counter)
+
+    def reset(self) -> None:
+        self._start = time.perf_counter()
+
+    def check(self, candidates: int) -> None:
+        if candidates > self.max_candidates:
+            raise SimulationTimeout(
+                f"exceeded candidate budget ({self.max_candidates})",
+                candidates_explored=candidates,
+            )
+        if (
+            self.deadline_seconds is not None
+            and time.perf_counter() - self._start > self.deadline_seconds
+        ):
+            raise SimulationTimeout(
+                f"exceeded deadline ({self.deadline_seconds}s)",
+                candidates_explored=candidates,
+            )
+
+
+@dataclass
+class EnumerationStats:
+    """Counters describing one enumeration run."""
+
+    path_combinations: int = 0
+    rf_assignments: int = 0
+    candidates: int = 0
+    rejected_value_cycle: int = 0
+    rejected_constraint: int = 0
+    elapsed_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """An execution plus the solved per-thread final-local values."""
+
+    execution: Execution
+    finals: Tuple[Tuple[str, int], ...]  # ("P0:r0", value)
+
+    def finals_dict(self) -> Dict[str, int]:
+        return dict(self.finals)
+
+
+class _ValueCycle(Exception):
+    pass
+
+
+def _instantiate_paths(
+    init: Mapping[str, int],
+    chosen: Sequence[Tuple[ThreadProgram, ThreadPath]],
+) -> Tuple[
+    List[Event],
+    Dict[int, EventTemplate],
+    Relation,
+    Relation,
+    Relation,
+    Relation,
+    Relation,
+    List[Tuple[str, Expr]],
+    List[PathConstraint],
+    Dict[int, int],
+]:
+    """Assign global event ids and build the static relations."""
+    # every location touched gets an init write (herd zero-initialises)
+    locations = set(init)
+    for _, path in chosen:
+        for t in path.templates:
+            if t.loc is not None:
+                locations.add(t.loc)
+    full_init = {loc: init.get(loc, 0) for loc in sorted(locations)}
+
+    events: List[Event] = []
+    templates: Dict[int, EventTemplate] = {}
+    next_eid = 0
+    for loc, value in sorted(full_init.items()):
+        events.append(
+            Event(
+                eid=next_eid,
+                tid=INIT_TID,
+                kind=EventKind.WRITE,
+                loc=loc,
+                value=value,
+                tags=frozenset({"INIT"}),
+            )
+        )
+        next_eid += 1
+
+    po_pairs: List[Tuple[int, int]] = []
+    rmw_pairs: List[Tuple[int, int]] = []
+    addr_pairs: List[Tuple[int, int]] = []
+    data_pairs: List[Tuple[int, int]] = []
+    ctrl_pairs: List[Tuple[int, int]] = []
+    finals: List[Tuple[str, Expr]] = []
+    constraints: List[PathConstraint] = []
+    write_exprs: Dict[int, Expr] = {}
+
+    for program, path in chosen:
+        placeholder_to_eid: Dict[int, int] = {}
+        thread_eids: List[int] = []
+        prev_eid: Optional[int] = None
+        for template in path.templates:
+            eid = next_eid
+            next_eid += 1
+            thread_eids.append(eid)
+            templates[eid] = template
+            if template.placeholder is not None:
+                placeholder_to_eid[template.placeholder] = eid
+            events.append(
+                Event(
+                    eid=eid,
+                    tid=program.tid,
+                    kind=template.kind,
+                    loc=template.loc,
+                    value=None,
+                    order=template.order,
+                    tags=template.tags,
+                    label=template.label,
+                )
+            )
+            if template.rmw_with_prev:
+                if prev_eid is None:
+                    raise ValueError("rmw write with no preceding read")
+                rmw_pairs.append((prev_eid, eid))
+            elif template.rmw_read_pos is not None:
+                rmw_pairs.append((thread_eids[template.rmw_read_pos], eid))
+            prev_eid = eid
+        # program order: total within the thread (transitive)
+        for i in range(len(thread_eids)):
+            for j in range(i + 1, len(thread_eids)):
+                po_pairs.append((thread_eids[i], thread_eids[j]))
+        # dependencies and value expressions, renamed to global ids
+        for eid in thread_eids:
+            template = templates[eid]
+            if template.value_expr is not None:
+                expr = rename_reads(template.value_expr, placeholder_to_eid)
+                write_exprs[eid] = expr
+                for r in expr.reads():
+                    data_pairs.append((r, eid))
+            for p in template.addr_deps:
+                addr_pairs.append((placeholder_to_eid[p], eid))
+            for p in template.ctrl_deps:
+                ctrl_pairs.append((placeholder_to_eid[p], eid))
+        for name, expr in path.finals.items():
+            finals.append(
+                (f"{program.name}:{name}", rename_reads(expr, placeholder_to_eid))
+            )
+        for constraint in path.constraints:
+            constraints.append(
+                PathConstraint(
+                    rename_reads(constraint.expr, placeholder_to_eid),
+                    constraint.expected,
+                )
+            )
+
+    return (
+        events,
+        templates,
+        Relation(po_pairs),
+        Relation(rmw_pairs),
+        Relation(addr_pairs),
+        Relation(data_pairs),
+        Relation(ctrl_pairs),
+        finals,
+        constraints,
+        write_exprs,  # type: ignore[return-value]
+    )
+
+
+def _rf_candidates(
+    events: Sequence[Event],
+    po: Relation,
+    rmw: Relation,
+) -> Dict[int, List[int]]:
+    """For each read, the writes it may read from."""
+    writes_by_loc: Dict[str, List[Event]] = {}
+    for e in events:
+        if e.is_write and e.loc is not None:
+            writes_by_loc.setdefault(e.loc, []).append(e)
+    own_rmw_write = {r: w for r, w in rmw}
+    out: Dict[int, List[int]] = {}
+    for e in events:
+        if not e.is_read or e.loc is None:
+            continue
+        candidates: List[int] = []
+        for w in writes_by_loc.get(e.loc, ()):
+            if w.eid == e.eid:
+                continue
+            if own_rmw_write.get(e.eid) == w.eid:
+                continue  # an RMW cannot read its own write
+            if w.tid == e.tid and (e.eid, w.eid) in po.pairs:
+                continue  # reading from a po-later same-thread write is
+                # always a coherence violation; prune early
+            candidates.append(w.eid)
+        out[e.eid] = candidates
+    return out
+
+
+def _solve_values(
+    events: Sequence[Event],
+    rf_map: Mapping[int, int],
+    write_exprs: Mapping[int, Expr],
+) -> Dict[int, int]:
+    """Evaluate along data-dep ∪ rf; raise ``_ValueCycle`` on cycles."""
+    values: Dict[int, int] = {}
+    for e in events:
+        if e.value is not None:
+            values[e.eid] = e.value
+    visiting: set = set()
+    by_id = {e.eid: e for e in events}
+
+    def value_of(eid: int) -> int:
+        if eid in values:
+            return values[eid]
+        if eid in visiting:
+            raise _ValueCycle()
+        visiting.add(eid)
+        event = by_id[eid]
+        if event.is_read:
+            result = value_of(rf_map[eid])
+        elif event.is_write:
+            expr = write_exprs.get(eid)
+            if expr is None:
+                result = 0
+            else:
+                env = {r: value_of(r) for r in expr.reads()}
+                result = expr.eval(env)
+        else:
+            result = 0
+        visiting.discard(eid)
+        values[eid] = result
+        return result
+
+    for e in events:
+        if e.is_read or e.is_write:
+            value_of(e.eid)
+    return values
+
+
+def enumerate_candidates(
+    init: Mapping[str, int],
+    programs: Sequence[ThreadProgram],
+    budget: Optional[Budget] = None,
+    stats: Optional[EnumerationStats] = None,
+) -> Iterator[Candidate]:
+    """Yield every consistent candidate execution of the test."""
+    budget = budget or Budget()
+    stats = stats if stats is not None else EnumerationStats()
+    start = time.perf_counter()
+    counter = 0
+
+    try:
+        for combo in itertools.product(*(p.paths for p in programs)):
+            stats.path_combinations += 1
+            chosen = list(zip(programs, combo))
+            (
+                events,
+                _templates,
+                po,
+                rmw,
+                addr,
+                data,
+                ctrl,
+                finals,
+                constraints,
+                write_exprs,
+            ) = _instantiate_paths(init, chosen)
+            rf_candidates = _rf_candidates(events, po, rmw)
+            read_ids = sorted(rf_candidates)
+            choice_lists = [rf_candidates[r] for r in read_ids]
+            if any(not c for c in choice_lists):
+                continue  # a read with no possible source: infeasible path
+            writes_by_loc: Dict[str, List[int]] = {}
+            init_write: Dict[str, int] = {}
+            for e in events:
+                if e.is_write and e.loc is not None:
+                    if e.is_init:
+                        init_write[e.loc] = e.eid
+                    else:
+                        writes_by_loc.setdefault(e.loc, []).append(e.eid)
+
+            for rf_choice in itertools.product(*choice_lists):
+                stats.rf_assignments += 1
+                rf_map = dict(zip(read_ids, rf_choice))
+                try:
+                    values = _solve_values(events, rf_map, write_exprs)
+                except _ValueCycle:
+                    stats.rejected_value_cycle += 1
+                    counter += 1
+                    budget.check(counter)
+                    continue
+                ok = True
+                for constraint in constraints:
+                    env = {r: values[r] for r in constraint.expr.reads()}
+                    if bool(constraint.expr.eval(env)) != constraint.expected:
+                        ok = False
+                        break
+                if not ok:
+                    stats.rejected_constraint += 1
+                    counter += 1
+                    budget.check(counter)
+                    continue
+
+                concrete = [
+                    e if e.value is not None else e.with_value(values[e.eid])
+                    if e.is_access
+                    else e
+                    for e in events
+                ]
+                rf_rel = Relation((w, r) for r, w in rf_map.items())
+                final_values = tuple(
+                    (name, expr.eval({r: values[r] for r in expr.reads()}))
+                    for name, expr in finals
+                )
+
+                # coherence: permutations per location, init write first
+                loc_perms = [
+                    [
+                        [init_write[loc]] + list(perm)
+                        for perm in itertools.permutations(ws)
+                    ]
+                    for loc, ws in sorted(writes_by_loc.items())
+                ]
+                if not loc_perms:
+                    loc_perms = [[[]]]
+                for co_combo in itertools.product(*loc_perms):
+                    counter += 1
+                    stats.candidates += 1
+                    budget.check(counter)
+                    co = Relation.empty()
+                    for chain in co_combo:
+                        co = co | Relation.from_order(chain)
+                    # init writes of untouched locations are co-minimal
+                    # trivially (single write, no pairs needed)
+                    execution = Execution(
+                        events=concrete,
+                        po=po,
+                        rf=rf_rel,
+                        co=co,
+                        rmw=rmw,
+                        addr=addr,
+                        data=data,
+                        ctrl=ctrl,
+                    )
+                    yield Candidate(execution=execution, finals=final_values)
+    finally:
+        stats.elapsed_seconds = time.perf_counter() - start

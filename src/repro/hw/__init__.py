@@ -1,0 +1,13 @@
+"""Operational hardware simulation: chips and the litmus-tool analogue."""
+
+from .chips import CHIPS, ChipSpec, get_chip, list_chips
+from .simulator import HardwareRunResult, run_on_hardware
+
+__all__ = [
+    "CHIPS",
+    "ChipSpec",
+    "get_chip",
+    "list_chips",
+    "HardwareRunResult",
+    "run_on_hardware",
+]

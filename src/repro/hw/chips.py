@@ -1,0 +1,97 @@
+"""Chip definitions for the operational hardware simulator.
+
+Silicon implements a *restricted variant* of its architecture model
+(paper §II-A): behaviours the model allows may never occur on a given
+part, or occur only under stress.  Each :class:`ChipSpec` captures the
+two properties the paper's C4 comparison turns on:
+
+* whether the part can exhibit load buffering at all (in-order cores
+  like the Raspberry Pi's Cortex-A53 cannot — the reason Windsor et al.
+  miss the Fig. 7 behaviour [77], while Sarkar et al. observe it on an
+  Apple A9 and an Nvidia Tegra2 [70]);
+* how often weak outcomes surface per run (raised by "stress-testing").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """One piece of silicon the litmus tool might run on."""
+
+    name: str
+    arch: str
+    description: str
+    #: can the pipeline issue a load's successor store before the load
+    #: completes?  False for in-order cores: load buffering unobservable.
+    allows_load_buffering: bool
+    #: probability that a given run surfaces a weak (non-SC) outcome.
+    weak_probability: float
+    #: multiplier applied by C4-style "stress-testing".
+    stress_factor: float = 4.0
+
+    def effective_weakness(self, stress: bool) -> float:
+        if not stress:
+            return self.weak_probability
+        return min(1.0, self.weak_probability * self.stress_factor)
+
+
+CHIPS: Dict[str, ChipSpec] = {
+    spec.name: spec
+    for spec in (
+        ChipSpec(
+            name="raspberry-pi",
+            arch="aarch64",
+            description="Cortex-A53-class in-order core (Windsor et al.'s "
+                        "C4 test platform [77]): never exhibits LB",
+            allows_load_buffering=False,
+            weak_probability=0.08,
+        ),
+        ChipSpec(
+            name="apple-a9",
+            arch="aarch64",
+            description="aggressive out-of-order core; Sarkar et al. "
+                        "observe LB here [70], but rarely",
+            allows_load_buffering=True,
+            weak_probability=0.02,
+        ),
+        ChipSpec(
+            name="tegra2",
+            arch="armv7",
+            description="Nvidia Tegra2 (Armv7): exhibits LB [70]",
+            allows_load_buffering=True,
+            weak_probability=0.03,
+        ),
+        ChipSpec(
+            name="thunderx2",
+            arch="aarch64",
+            description="224-thread server part (the paper's campaign "
+                        "machine): weak outcomes comparatively frequent",
+            allows_load_buffering=True,
+            weak_probability=0.15,
+        ),
+        ChipSpec(
+            name="sc-reference",
+            arch="aarch64",
+            description="an idealised sequentially consistent machine "
+                        "(never shows weak outcomes)",
+            allows_load_buffering=False,
+            weak_probability=0.0,
+        ),
+    )
+}
+
+
+def get_chip(name: str) -> ChipSpec:
+    if name not in CHIPS:
+        raise KeyError(
+            f"unknown chip {name!r}; known: {', '.join(sorted(CHIPS))}"
+        )
+    return CHIPS[name]
+
+
+def list_chips() -> List[str]:
+    return sorted(CHIPS)

@@ -1,0 +1,128 @@
+"""Operational hardware simulation: the ``litmus``-tool analogue.
+
+``litmus`` [10] runs a test on real silicon many times and reports the
+histogram of observed outcomes.  Our simulator reproduces the properties
+the paper's C4 comparison depends on:
+
+* a chip's *observable* outcomes are a restriction of the architecture
+  model's allowed outcomes (in-order cores drop load-buffering shapes);
+* weak outcomes are *rare*: each run surfaces one with the chip's
+  weakness probability (raised by stress-testing), otherwise an SC
+  outcome appears;
+* results are nondeterministic across seeds/machines — but reproducible
+  here, because the seed is explicit (the paper's determinism argument
+  for T´el´echat, made demonstrable).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..asm.litmus import AsmLitmus
+from ..cat.registry import arch_model, get_model
+from ..cat.stdlib import build_env
+from ..core.execution import Outcome
+from ..herd.enumerate import Budget
+from ..herd.simulator import SimulationResult, simulate_asm
+from .chips import ChipSpec, get_chip
+
+
+@dataclass
+class HardwareRunResult:
+    """The histogram a litmus-on-hardware campaign produces."""
+
+    test_name: str
+    chip: ChipSpec
+    runs: int
+    counts: Dict[Outcome, int]
+    #: outcomes this chip could in principle produce (its restriction of
+    #: the architecture model)
+    observable: FrozenSet[Outcome]
+    #: outcomes the architecture model allows (the full set)
+    architecturally_allowed: FrozenSet[Outcome]
+
+    @property
+    def observed(self) -> FrozenSet[Outcome]:
+        return frozenset(o for o, n in self.counts.items() if n > 0)
+
+    @property
+    def missed(self) -> FrozenSet[Outcome]:
+        """Architecturally allowed outcomes this campaign never saw — the
+        bugs a hardware-based tool cannot flag (paper §IV-A)."""
+        return self.architecturally_allowed - self.observed
+
+    def histogram(self) -> str:
+        lines = [f"Test {self.test_name} on {self.chip.name} ({self.runs} runs)"]
+        for outcome, count in sorted(
+            self.counts.items(), key=lambda kv: (-kv[1], kv[0].bindings)
+        ):
+            lines.append(f"{count:8d}  {outcome}")
+        return "\n".join(lines)
+
+
+def _observable_outcomes(
+    litmus: AsmLitmus,
+    chip: ChipSpec,
+    budget: Optional[Budget] = None,
+) -> Tuple[FrozenSet[Outcome], FrozenSet[Outcome], FrozenSet[Outcome]]:
+    """(architecturally allowed, chip-observable, SC) outcome sets."""
+    arch_result = simulate_asm(litmus, budget=budget, keep_executions=True)
+    sc_result = simulate_asm(litmus, model="sc", budget=budget)
+    allowed = arch_result.outcomes
+    if chip.allows_load_buffering:
+        observable = allowed
+    else:
+        # an in-order pipeline never retires a store before a po-earlier
+        # load has bound its value: executions with a (po ∪ rf) cycle are
+        # unobservable on such silicon
+        kept = set()
+        for execution, outcome in arch_result.executions:
+            if (execution.po | execution.rf).is_acyclic():
+                kept.add(outcome)
+        observable = frozenset(kept)
+    return allowed, observable, sc_result.outcomes
+
+
+def run_on_hardware(
+    litmus: AsmLitmus,
+    chip: str | ChipSpec,
+    runs: int = 200,
+    seed: int = 0,
+    stress: bool = False,
+    budget: Optional[Budget] = None,
+) -> HardwareRunResult:
+    """Run an assembly litmus test on simulated silicon.
+
+    Each run produces one outcome: with the chip's (stress-adjusted)
+    weakness probability a uniformly chosen *weak* observable outcome,
+    otherwise a uniformly chosen SC outcome.
+    """
+    spec = get_chip(chip) if isinstance(chip, str) else chip
+    if spec.arch != litmus.arch:
+        raise ValueError(
+            f"chip {spec.name} is {spec.arch}, test is {litmus.arch}"
+        )
+    allowed, observable, sc_outcomes = _observable_outcomes(litmus, spec, budget)
+    strong = sorted(observable & sc_outcomes, key=lambda o: o.bindings)
+    weak = sorted(observable - sc_outcomes, key=lambda o: o.bindings)
+    rng = random.Random(seed)
+    weakness = spec.effective_weakness(stress)
+    counts: Counter = Counter()
+    for _ in range(runs):
+        if weak and rng.random() < weakness:
+            counts[rng.choice(weak)] += 1
+        elif strong:
+            counts[rng.choice(strong)] += 1
+        elif weak:  # degenerate: no SC outcome exists
+            counts[rng.choice(weak)] += 1
+    return HardwareRunResult(
+        test_name=litmus.name,
+        chip=spec,
+        runs=runs,
+        counts=dict(counts),
+        observable=observable,
+        architecturally_allowed=allowed,
+    )

@@ -1,0 +1,277 @@
+"""Symbolic semantics of C litmus threads.
+
+Walks a thread body, building :class:`~repro.herd.templates.ThreadPath`
+objects: event templates with symbolic values, branch constraints, and the
+final values of locals.  Control flow forks the path; loops are unrolled
+to a fixed factor (herd's "fixed loop unroll factor, no recursion" —
+paper §I).
+
+C11 RMW operations become read+write template pairs with the write marked
+``rmw_with_prev``; the memory order is split C11-style (``acq_rel`` gives
+an acquire read and a release write).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import SimulationError
+from ..core.events import EventKind, MemoryOrder
+from ..core.expr import BinOp, Const, Expr, ReadVal, UnOp, is_constant
+from ..herd.templates import EventTemplate, PathConstraint, ThreadPath, ThreadProgram
+from .ast import (
+    Assign,
+    AtomicLoad,
+    AtomicRMW,
+    AtomicStore,
+    BinExpr,
+    CExpr,
+    CLitmus,
+    CStmt,
+    CThread,
+    Decl,
+    ExprStmt,
+    Fence,
+    If,
+    IntLit,
+    PlainLoad,
+    PlainStore,
+    UnExpr,
+    Var,
+    While,
+)
+
+#: How RMW memory orders split across the read and write halves (C11 / herd
+#: convention).
+_RMW_SPLIT = {
+    MemoryOrder.NA: (MemoryOrder.NA, MemoryOrder.NA),
+    MemoryOrder.RLX: (MemoryOrder.RLX, MemoryOrder.RLX),
+    MemoryOrder.CON: (MemoryOrder.CON, MemoryOrder.RLX),
+    MemoryOrder.ACQ: (MemoryOrder.ACQ, MemoryOrder.RLX),
+    MemoryOrder.REL: (MemoryOrder.RLX, MemoryOrder.REL),
+    MemoryOrder.ACQ_REL: (MemoryOrder.ACQ, MemoryOrder.REL),
+    MemoryOrder.SC: (MemoryOrder.SC, MemoryOrder.SC),
+}
+
+_RMW_OPS = {
+    "add": lambda old, v: BinOp("+", old, v),
+    "sub": lambda old, v: BinOp("-", old, v),
+    "or": lambda old, v: BinOp("|", old, v),
+    "and": lambda old, v: BinOp("&", old, v),
+    "xor": lambda old, v: BinOp("^", old, v),
+    "xchg": lambda old, v: v,
+}
+
+
+@dataclass
+class _State:
+    """Mutable exploration state for one path prefix."""
+
+    env: Dict[str, Expr]
+    templates: List[EventTemplate]
+    constraints: List[PathConstraint]
+    ctrl: frozenset
+    next_placeholder: int
+
+    def fork(self) -> "_State":
+        return _State(
+            env=dict(self.env),
+            templates=list(self.templates),
+            constraints=list(self.constraints),
+            ctrl=self.ctrl,
+            next_placeholder=self.next_placeholder,
+        )
+
+
+class ThreadElaborator:
+    """Explodes one C thread into its control-flow paths."""
+
+    def __init__(self, thread: CThread, litmus: CLitmus, unroll: int = 2) -> None:
+        self.thread = thread
+        self.litmus = litmus
+        self.unroll = unroll
+
+    def run(self) -> ThreadProgram:
+        initial = _State(env={}, templates=[], constraints=[], ctrl=frozenset(), next_placeholder=0)
+        finished: List[_State] = []
+        self._exec_block(list(self.thread.body), initial, finished)
+        paths = tuple(
+            ThreadPath(
+                thread_name=self.thread.name,
+                templates=tuple(st.templates),
+                constraints=tuple(st.constraints),
+                finals={name: expr for name, expr in st.env.items()},
+            )
+            for st in finished
+        )
+        return ThreadProgram(name=self.thread.name, tid=self.thread.tid, paths=paths)
+
+    # ------------------------------------------------------------------ #
+    def _exec_block(self, stmts: List[CStmt], state: _State, finished: List[_State]) -> None:
+        if not stmts:
+            finished.append(state)
+            return
+        head, rest = stmts[0], stmts[1:]
+        for next_state in self._exec_stmt(head, state):
+            self._exec_block(rest, next_state, finished)
+
+    def _exec_stmt(self, stmt: CStmt, state: _State) -> List[_State]:
+        if isinstance(stmt, (Decl, Assign)):
+            value = self._eval(stmt.expr, state)
+            state.env[stmt.var] = value
+            return [state]
+        if isinstance(stmt, PlainStore):
+            value = self._eval(stmt.expr, state)
+            self._emit_write(state, stmt.loc, value, MemoryOrder.NA, stmt.width)
+            return [state]
+        if isinstance(stmt, AtomicStore):
+            value = self._eval(stmt.expr, state)
+            self._emit_write(state, stmt.loc, value, stmt.order, stmt.width)
+            return [state]
+        if isinstance(stmt, Fence):
+            if stmt.order is not MemoryOrder.NA:
+                state.templates.append(
+                    EventTemplate(
+                        kind=EventKind.FENCE,
+                        order=stmt.order,
+                        ctrl_deps=state.ctrl,
+                    )
+                )
+            return [state]
+        if isinstance(stmt, ExprStmt):
+            self._eval(stmt.expr, state)
+            return [state]
+        if isinstance(stmt, If):
+            return self._exec_if(stmt, state)
+        if isinstance(stmt, While):
+            return self._exec_while(stmt, state, self.unroll)
+        raise SimulationError(f"cannot execute statement {stmt!r}")
+
+    def _exec_if(self, stmt: If, state: _State) -> List[_State]:
+        cond = self._eval(stmt.cond, state)
+        if is_constant(cond):
+            branch = stmt.then_body if cond.eval({}) else stmt.else_body
+            out: List[_State] = []
+            self._exec_block(list(branch), state, out)
+            return out
+        results: List[_State] = []
+        for expected, body in ((True, stmt.then_body), (False, stmt.else_body)):
+            forked = state.fork()
+            forked.constraints.append(PathConstraint(cond, expected))
+            forked.ctrl = forked.ctrl | cond.reads()
+            out: List[_State] = []
+            self._exec_block(list(body), forked, out)
+            results.extend(out)
+        return results
+
+    def _exec_while(self, stmt: While, state: _State, budget: int) -> List[_State]:
+        cond = self._eval(stmt.cond, state)
+        results: List[_State] = []
+        if is_constant(cond):
+            if not cond.eval({}):
+                return [state]
+            if budget <= 0:
+                # unrolling exhausted on a definitely-taken loop: drop path
+                return []
+            body_out: List[_State] = []
+            self._exec_block(list(stmt.body), state, body_out)
+            for st in body_out:
+                results.extend(self._exec_while(stmt, st, budget - 1))
+            return results
+        # exit branch
+        exit_state = state.fork()
+        exit_state.constraints.append(PathConstraint(cond, False))
+        results.append(exit_state)
+        # iterate branch
+        if budget > 0:
+            iter_state = state.fork()
+            iter_state.constraints.append(PathConstraint(cond, True))
+            iter_state.ctrl = iter_state.ctrl | cond.reads()
+            body_out: List[_State] = []
+            self._exec_block(list(stmt.body), iter_state, body_out)
+            for st in body_out:
+                results.extend(self._exec_while(stmt, st, budget - 1))
+        return results
+
+    # ------------------------------------------------------------------ #
+    def _emit_write(
+        self, state: _State, loc: str, value: Expr, order: MemoryOrder, width: int
+    ) -> None:
+        state.templates.append(
+            EventTemplate(
+                kind=EventKind.WRITE,
+                loc=loc,
+                order=order,
+                value_expr=value,
+                ctrl_deps=state.ctrl,
+                width=self.litmus.width_of(loc) if width == 32 else width,
+            )
+        )
+
+    def _emit_read(
+        self, state: _State, loc: str, order: MemoryOrder, tags: frozenset = frozenset()
+    ) -> Expr:
+        placeholder = state.next_placeholder
+        state.next_placeholder += 1
+        state.templates.append(
+            EventTemplate(
+                kind=EventKind.READ,
+                loc=loc,
+                order=order,
+                placeholder=placeholder,
+                tags=tags,
+                ctrl_deps=state.ctrl,
+                width=self.litmus.width_of(loc),
+            )
+        )
+        return ReadVal(placeholder)
+
+    def _eval(self, expr: CExpr, state: _State) -> Expr:
+        if isinstance(expr, IntLit):
+            return Const(expr.value)
+        if isinstance(expr, Var):
+            if expr.name not in state.env:
+                raise SimulationError(
+                    f"use of undefined local {expr.name!r} in {self.thread.name}"
+                )
+            return state.env[expr.name]
+        if isinstance(expr, BinExpr):
+            left = self._eval(expr.left, state)
+            right = self._eval(expr.right, state)
+            folded = BinOp(expr.op, left, right)
+            return folded.substitute({})
+        if isinstance(expr, UnExpr):
+            inner = self._eval(expr.operand, state)
+            return UnOp(expr.op, inner).substitute({})
+        if isinstance(expr, PlainLoad):
+            return self._emit_read(state, expr.loc, MemoryOrder.NA)
+        if isinstance(expr, AtomicLoad):
+            return self._emit_read(state, expr.loc, expr.order)
+        if isinstance(expr, AtomicRMW):
+            return self._eval_rmw(expr, state)
+        raise SimulationError(f"cannot evaluate expression {expr!r}")
+
+    def _eval_rmw(self, expr: AtomicRMW, state: _State) -> Expr:
+        read_order, write_order = _RMW_SPLIT[expr.order]
+        operand = self._eval(expr.operand, state)
+        old = self._emit_read(state, expr.loc, read_order, tags=frozenset({"RMW-R"}))
+        new_value = _RMW_OPS[expr.kind](old, operand).substitute({})
+        state.templates.append(
+            EventTemplate(
+                kind=EventKind.WRITE,
+                loc=expr.loc,
+                order=write_order,
+                value_expr=new_value,
+                tags=frozenset({"RMW-W"}),
+                rmw_with_prev=True,
+                ctrl_deps=state.ctrl,
+                width=self.litmus.width_of(expr.loc),
+            )
+        )
+        return old
+
+
+def elaborate(litmus: CLitmus, unroll: int = 2) -> List[ThreadProgram]:
+    """Produce the per-thread path sets of a C litmus test."""
+    return [ThreadElaborator(t, litmus, unroll=unroll).run() for t in litmus.threads]

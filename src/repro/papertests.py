@@ -1,0 +1,213 @@
+"""The paper's figure tests, verbatim.
+
+Each function returns the litmus test shown in the corresponding figure
+of *Compiler Testing with Relaxed Memory Models* (CGO 2024), written in
+the same C surface syntax and parsed by :mod:`repro.lang.parser` — so
+these double as parser fixtures.
+"""
+
+from __future__ import annotations
+
+from .lang.ast import CLitmus
+from .lang.parser import parse_c_litmus
+
+#: Fig. 1 — the atomic_exchange bug report [38].  The outcome
+#: ``P1:r0=0 ∧ y=2`` is forbidden by the C/C++ model; compiled by a buggy
+#: LLVM for Armv8.1+ (SWP with an unused destination) it becomes allowed.
+FIG1_SOURCE = r"""
+C fig1_exchange
+{ *x = 0; *y = 0; }
+#define relaxed memory_order_relaxed
+#define release memory_order_release
+#define acquire memory_order_acquire
+
+void P0(atomic_int* y, atomic_int* x) {
+  atomic_store_explicit(x, 1, relaxed);
+  atomic_thread_fence(release);
+  atomic_store_explicit(y, 1, relaxed);
+}
+
+void P1(atomic_int* y, atomic_int* x) {
+  atomic_exchange_explicit(y, 2, release);
+  atomic_thread_fence(acquire);
+  int r0 = atomic_load_explicit(x, relaxed);
+}
+
+exists (P1:r0=0 /\ y=2)
+"""
+
+
+#: Fig. 7 — load buffering with relaxed fences.  RC11 forbids the
+#: ``P0:r0=1 ∧ P1:r0=1`` outcome; Armv8/Armv7/PPC/RISC-V allow it when
+#: compiled.  C4 missed this behaviour [77]; T´el´echat observes it.
+FIG7_SOURCE = r"""
+C fig7_lb
+{ *x = 0; *y = 0; }
+#define relaxed memory_order_relaxed
+#define load atomic_load_explicit
+#define store atomic_store_explicit
+
+void P0(atomic_int* y, atomic_int* x) {
+  int r0 = load(x, relaxed);
+  atomic_thread_fence(relaxed);
+  store(y, 1, relaxed);
+}
+
+void P1(atomic_int* y, atomic_int* x) {
+  int r0 = load(y, relaxed);
+  atomic_thread_fence(relaxed);
+  store(x, 1, relaxed);
+}
+
+exists (P0:r0=1 /\ P1:r0=1)
+"""
+
+
+#: Fig. 9 (left) — the plain load-buffering test whose unused locals
+#: ``clang -O2`` deletes, leaving only the zero outcome (right).
+FIG9_SOURCE = r"""
+C fig9_lb_plain
+{ *x = 0; *y = 0; }
+
+void P0(int* y, int* x) {
+  int r0 = *x;
+  *y = 1;
+}
+
+void P1(int* y, int* x) {
+  int r0 = *y;
+  *x = 1;
+}
+
+exists (P0:r0=1 /\ P1:r0=1)
+"""
+
+
+#: Fig. 10 — message passing through an unused fetch_add.  The outcome
+#: ``P1:r0=0 ∧ y=2`` is forbidden by C/C++; past LLVM/GCC allowed it by
+#: (a) selecting STADD and (b) zeroing LDADD's destination [53][54].
+FIG10_SOURCE = r"""
+C fig10_mp_rmw
+{ *x = 0; *y = 0; }
+#define relaxed memory_order_relaxed
+
+void P0(atomic_int* y, atomic_int* x) {
+  atomic_store_explicit(x, 1, relaxed);
+  atomic_thread_fence(memory_order_release);
+  atomic_store_explicit(y, 1, relaxed);
+}
+
+void P1(atomic_int* y, atomic_int* x) {
+  int r1 = atomic_fetch_add_explicit(y, 1, relaxed);
+  atomic_thread_fence(memory_order_acquire);
+  int r0 = atomic_load_explicit(x, relaxed);
+}
+
+exists (P1:r0=0 /\ y=2)
+"""
+
+
+#: Fig. 11 — the three-thread LB chain whose *unoptimised* compiled
+#: simulation does not terminate under herd; s2l optimisation brings it
+#: to milliseconds (§IV-E, Claim 5).
+FIG11_SOURCE = r"""
+C fig11_lb3
+{ *x = 0; *y = 0; *z = 0; }
+
+void P0(int* y, int* x) {
+  int r0 = *x;
+  atomic_thread_fence(memory_order_relaxed);
+  *y = 1;
+}
+
+void P1(int* z, int* y) {
+  int r0 = *y;
+  atomic_thread_fence(memory_order_relaxed);
+  *z = 1;
+}
+
+void P2(int* z, int* x) {
+  int r0 = *z;
+  atomic_thread_fence(memory_order_relaxed);
+  *x = 1;
+}
+
+exists (P0:r0=1 /\ P1:r0=1 /\ P2:r0=1)
+"""
+
+
+#: Store buffering with seq_cst atomics — the test that exposed the
+#: Armv7 model bug [35]: the pre-fix model did not treat ``dmb ish`` as
+#: a fence, wrongly allowing the ``0/0`` outcome.
+SB_SC_SOURCE = r"""
+C sb_sc
+{ *x = 0; *y = 0; }
+
+void P0(atomic_int* y, atomic_int* x) {
+  atomic_store_explicit(x, 1, memory_order_seq_cst);
+  int r0 = atomic_load_explicit(y, memory_order_seq_cst);
+}
+
+void P1(atomic_int* y, atomic_int* x) {
+  atomic_store_explicit(y, 1, memory_order_seq_cst);
+  int r0 = atomic_load_explicit(x, memory_order_seq_cst);
+}
+
+exists (P0:r0=0 /\ P1:r0=0)
+"""
+
+
+def fig1_exchange() -> CLitmus:
+    """Fig. 1: the atomic_exchange reordering bug [38]."""
+    return parse_c_litmus(FIG1_SOURCE, "fig1_exchange")
+
+
+def fig7_lb() -> CLitmus:
+    """Fig. 7: load buffering with relaxed fences (the C4 miss)."""
+    return parse_c_litmus(FIG7_SOURCE, "fig7_lb")
+
+
+def fig9_lb_plain() -> CLitmus:
+    """Fig. 9: plain LB whose unused locals get deleted."""
+    return parse_c_litmus(FIG9_SOURCE, "fig9_lb_plain")
+
+
+def fig10_mp_rmw() -> CLitmus:
+    """Fig. 10: MP through an unused fetch_add (two historical bugs)."""
+    return parse_c_litmus(FIG10_SOURCE, "fig10_mp_rmw")
+
+
+def fig11_lb3() -> CLitmus:
+    """Fig. 11: the 3-thread LB chain (state-explosion study)."""
+    return parse_c_litmus(FIG11_SOURCE, "fig11_lb3")
+
+
+def sb_sc() -> CLitmus:
+    """Store buffering, seq_cst — the Armv7 model-bug witness [35]."""
+    return parse_c_litmus(SB_SC_SOURCE, "sb_sc")
+
+
+#: 128-bit atomics (paper §IV-C): the seq_cst LDP bug [37], the
+#: wrong-endian STP bug [39], and the const-load crash [36] all live on
+#: this shape.  ``atomic_int128`` maps to our 128-bit width.
+FIG_128_SOURCE = r"""
+C atomics_128
+{ *x = 0; *y = 0; }
+
+void P0(atomic_int128* x, atomic_int* y) {
+  int r1 = atomic_fetch_add_explicit(y, 1, memory_order_seq_cst);
+  __int128 r0 = atomic_load_explicit(x, memory_order_seq_cst);
+}
+
+void P1(atomic_int128* x, atomic_int* y) {
+  atomic_store_explicit(x, 1, memory_order_seq_cst);
+  int r0 = atomic_load_explicit(y, memory_order_seq_cst);
+}
+
+exists (P0:r0=0 /\ P1:r0=0)
+"""
+
+
+def atomics_128() -> CLitmus:
+    """The 128-bit seq_cst shape of the §IV-C bug reports."""
+    return parse_c_litmus(FIG_128_SOURCE, "atomics_128")

@@ -1,0 +1,21 @@
+"""The Telechat pipeline: test_tv driver, campaign runner, CLI."""
+
+from .campaign import (
+    ARCH_DISPLAY,
+    CAMPAIGN_OPTS,
+    CampaignCell,
+    CampaignReport,
+    run_campaign,
+)
+from .telechat import TelechatResult, differential_outcomes, test_compilation
+
+__all__ = [
+    "ARCH_DISPLAY",
+    "CAMPAIGN_OPTS",
+    "CampaignCell",
+    "CampaignReport",
+    "run_campaign",
+    "TelechatResult",
+    "differential_outcomes",
+    "test_compilation",
+]

@@ -1,0 +1,130 @@
+"""The ``telechat`` command-line interface.
+
+Mirrors the paper artefact's Makefile entry points:
+
+* ``telechat examples`` — the "smoketest" (Claims 1/2/5): runs the LB
+  family through test_tv for llvm-O3-AArch64 and prints the mcompare log;
+* ``telechat test FILE`` — run one C litmus test under a profile;
+* ``telechat campaign`` — the scaled Table IV campaign;
+* ``telechat models`` / ``telechat shapes`` / ``telechat profiles`` —
+  inventory listings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..cat.registry import list_models
+from ..compiler.profiles import ARCHES, make_profile
+from ..herd.enumerate import Budget
+from ..lang.parser import parse_c_litmus
+from ..tools.diy import DiyConfig, build_test, get_shape, shape_names, small_config
+from .campaign import run_campaign
+from .telechat import test_compilation
+
+
+def _cmd_examples(args: argparse.Namespace) -> int:
+    """The artefact's ``make examples`` smoketest."""
+    profile = make_profile("llvm", "-O3", "aarch64")
+    print(f"profile: {profile.name}\n")
+    for fence in (None,):
+        test = build_test(get_shape("LB"), "rlx", fence=fence, name="LB004")
+        for model in ("rc11", "rc11+lb"):
+            result = test_compilation(test, profile, source_model=model)
+            print(f"== {test.name} under {model} ==")
+            print(result.comparison.pretty())
+            print(
+                f"   target simulation: {result.target_seconds*1000:.1f} ms, "
+                f"{result.compiled_loc} compiled instructions, "
+                f"{result.s2l_stats.total_removed} removed by s2l"
+            )
+            print()
+    return 0
+
+
+def _cmd_test(args: argparse.Namespace) -> int:
+    with open(args.file) as handle:
+        source = handle.read()
+    litmus = parse_c_litmus(source, name=args.file)
+    profile = make_profile(args.compiler, args.opt, args.arch)
+    result = test_compilation(
+        litmus,
+        profile,
+        source_model=args.cmem,
+        budget=Budget(deadline_seconds=args.timeout),
+    )
+    print(result.comparison.pretty())
+    return 1 if result.found_bug else 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    config = small_config() if args.small else DiyConfig()
+    report = run_campaign(
+        config=config,
+        arches=args.arch or [a for a in ARCHES],
+        opts=args.opt or ["-O1", "-O2", "-O3"],
+        source_model=args.cmem,
+    )
+    print(report.table())
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    for name in list_models():
+        print(name)
+    return 0
+
+
+def _cmd_shapes(args: argparse.Namespace) -> int:
+    for name in shape_names():
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="telechat",
+        description="Compiler testing with relaxed memory models "
+                    "(CGO 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("examples", help="run the artefact smoketest").set_defaults(
+        func=_cmd_examples
+    )
+
+    test = sub.add_parser("test", help="run test_tv on one C litmus file")
+    test.add_argument("file")
+    test.add_argument("--compiler", choices=("llvm", "gcc"), default="llvm")
+    test.add_argument("--opt", default="-O3")
+    test.add_argument("--arch", choices=ARCHES, default="aarch64")
+    test.add_argument("--cmem", default="rc11", help="source model (CMEM)")
+    test.add_argument("--timeout", type=float, default=120.0)
+    test.set_defaults(func=_cmd_test)
+
+    campaign = sub.add_parser("campaign", help="run the Table IV campaign")
+    campaign.add_argument("--small", action="store_true")
+    campaign.add_argument("--arch", action="append", choices=ARCHES)
+    campaign.add_argument("--opt", action="append")
+    campaign.add_argument("--cmem", default="rc11")
+    campaign.set_defaults(func=_cmd_campaign)
+
+    sub.add_parser("models", help="list memory models").set_defaults(
+        func=_cmd_models
+    )
+    sub.add_parser("shapes", help="list diy shapes").set_defaults(
+        func=_cmd_shapes
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""The T´el´echat driver: the ``test_tv`` environment of paper Fig. 5.
+
+One call to :func:`test_compilation` runs the whole tool-chain on one
+test and one compiler profile::
+
+    S ──l2c──> S′ ──c2s──> O ──s2l──> C
+    herd(S′, M_S)  ⊇?  herd(C, M_C)          (mcompare)
+
+The result records the comparison verdict, both outcome sets, the
+compiled litmus test, and the simulation/optimisation statistics the
+paper's scalability claims are stated in.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..asm.litmus import AsmLitmus, total_instructions
+from ..cat.interp import Model
+from ..cat.registry import arch_model, get_model
+from ..compiler.profiles import CompilerProfile
+from ..core.errors import ReproError, SimulationTimeout
+from ..herd.enumerate import Budget
+from ..herd.simulator import SimulationResult, simulate_asm, simulate_c
+from ..lang.ast import CLitmus
+from ..tools.c2s import compile_and_disassemble
+from ..tools.l2c import prepare
+from ..tools.mcompare import ComparisonResult, mcompare
+from ..tools.s2l import S2LStats, assembly_to_litmus
+
+
+@dataclass
+class TelechatResult:
+    """Everything one test_tv run produced."""
+
+    test_name: str
+    profile: CompilerProfile
+    comparison: ComparisonResult
+    source_result: SimulationResult
+    target_result: SimulationResult
+    compiled: AsmLitmus
+    s2l_stats: S2LStats
+    source_seconds: float
+    target_seconds: float
+    compile_seconds: float
+
+    @property
+    def verdict(self) -> str:
+        return self.comparison.verdict()
+
+    @property
+    def found_bug(self) -> bool:
+        """A positive difference not excused by source undefined behaviour
+        (paper def. II.3)."""
+        return self.comparison.is_positive
+
+    @property
+    def compiled_loc(self) -> int:
+        return total_instructions(self.compiled)
+
+
+def test_compilation(
+    litmus: CLitmus,
+    profile: CompilerProfile,
+    source_model: Union[str, Model] = "rc11",
+    target_model: Optional[Union[str, Model]] = None,
+    augment: bool = True,
+    optimise: bool = True,
+    unroll: int = 2,
+    budget: Optional[Budget] = None,
+) -> TelechatResult:
+    """Run test_tv on one C litmus test under one compiler profile.
+
+    Args:
+        litmus: the C litmus test ``S`` (step 1 of Fig. 5).
+        profile: the compiler-under-test configuration.
+        source_model: the C/C++ oracle (``rc11`` by default; ``rc11+lb``
+            reproduces the paper's Claim 4 re-run).
+        target_model: the architecture model; defaults to the official
+            model registered for the profile's architecture.
+        augment: apply the §IV-B local-variable augmentation.
+        optimise: apply the §IV-E s2l optimisations (disable to reproduce
+            the non-terminating Fig. 11 configuration — bring a budget).
+        unroll: loop unroll factor for source simulation.
+        budget: enumeration budget for both simulations.
+    """
+    prepared = prepare(litmus, augment=augment)
+
+    compile_start = time.perf_counter()
+    c2s = compile_and_disassemble(prepared, profile)
+    stats = S2LStats()
+    compiled = assembly_to_litmus(
+        c2s.obj, prepared.condition, listing=c2s.listing,
+        optimise=optimise, stats=stats,
+    )
+    compile_seconds = time.perf_counter() - compile_start
+
+    source_start = time.perf_counter()
+    source_result = simulate_c(prepared, source_model, unroll=unroll, budget=budget)
+    source_seconds = time.perf_counter() - source_start
+
+    chosen_target = target_model if target_model is not None else arch_model(profile.arch)
+    target_start = time.perf_counter()
+    target_result = simulate_asm(compiled, chosen_target, budget=budget)
+    target_seconds = time.perf_counter() - target_start
+
+    comparison = mcompare(
+        source_result,
+        target_result,
+        shared_locations=list(prepared.init),
+        condition_observables=prepared.condition.observables(),
+    )
+    return TelechatResult(
+        test_name=litmus.name,
+        profile=profile,
+        comparison=comparison,
+        source_result=source_result,
+        target_result=target_result,
+        compiled=compiled,
+        s2l_stats=stats,
+        source_seconds=source_seconds,
+        target_seconds=target_seconds,
+        compile_seconds=compile_seconds,
+    )
+
+
+# the name matches pytest's default collection pattern; this is a library
+# entry point, not a test
+test_compilation.__test__ = False  # type: ignore[attr-defined]
+
+
+def differential_outcomes(
+    litmus: CLitmus,
+    profile_a: CompilerProfile,
+    profile_b: CompilerProfile,
+    augment: bool = True,
+    budget: Optional[Budget] = None,
+) -> Tuple[SimulationResult, SimulationResult, ComparisonResult]:
+    """Differential testing (paper §IV-D): compare the outcomes of two
+    compilations of the same source under their architecture models —
+    e.g. ``clang -O1`` vs ``clang -O3``, or clang vs gcc at ``-O2``.
+
+    A difference between compilers is a *compatibility* risk: code from
+    both is routinely linked together.
+    """
+    if profile_a.arch != profile_b.arch:
+        raise ReproError("differential testing requires a common architecture")
+    prepared = prepare(litmus, augment=augment)
+    results: List[SimulationResult] = []
+    for profile in (profile_a, profile_b):
+        c2s = compile_and_disassemble(prepared, profile)
+        compiled = assembly_to_litmus(c2s.obj, prepared.condition, listing=c2s.listing)
+        results.append(simulate_asm(compiled, budget=budget))
+    comparison = mcompare(
+        results[0],
+        results[1],
+        shared_locations=list(prepared.init),
+        condition_observables=prepared.condition.observables(),
+    )
+    return results[0], results[1], comparison

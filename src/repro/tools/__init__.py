@@ -1,0 +1,53 @@
+"""The Telechat tool-chain: l2c, c2s, s2l, diy, mcompare (paper Fig. 6)."""
+
+from .c2s import C2SResult, compile_and_disassemble
+from .diy import (
+    DEP_CHOICES,
+    ORDER_CHOICES,
+    VARIANT_CHOICES,
+    DiyConfig,
+    Shape,
+    ShapeEvent,
+    build_test,
+    generate,
+    get_shape,
+    lb_chain,
+    paper_config,
+    sb_ring,
+    shape_names,
+    small_config,
+)
+from .l2c import augment_locals, fuzz_variants, out_global, prepare
+from .mcompare import ComparisonResult, StateMapping, default_mapping, mcompare
+from .s2l import S2LStats, assembly_to_litmus, optimise_thread, parse_thread
+
+__all__ = [
+    "C2SResult",
+    "compile_and_disassemble",
+    "DEP_CHOICES",
+    "ORDER_CHOICES",
+    "VARIANT_CHOICES",
+    "DiyConfig",
+    "Shape",
+    "ShapeEvent",
+    "build_test",
+    "generate",
+    "get_shape",
+    "lb_chain",
+    "paper_config",
+    "sb_ring",
+    "shape_names",
+    "small_config",
+    "augment_locals",
+    "fuzz_variants",
+    "out_global",
+    "prepare",
+    "ComparisonResult",
+    "StateMapping",
+    "default_mapping",
+    "mcompare",
+    "S2LStats",
+    "assembly_to_litmus",
+    "optimise_thread",
+    "parse_thread",
+]

@@ -1,0 +1,488 @@
+"""``diy`` — litmus-test generation from communication shapes (paper §II-A).
+
+The real diy [11] generates tests from *relaxation cycles* (``Rfe PodWR
+Fre PodRW`` …).  We generate the same families from their shape names —
+the classic two-to-four-thread communication patterns — crossed with the
+decoration axes of the paper's Table III:
+
+* **shapes**: MP, LB, SB, S, R, 2+2W, WRC, IRIW, and n-thread LB chains
+  (``LB3`` is the paper's Fig. 11 test);
+* **memory orders**: uniform relaxed / acquire-release / seq_cst, plus
+  the non-atomic (racy) variants;
+* **fences** between the two accesses of each thread;
+* **dependencies** on read→write threads: none (po), data, control, and
+  the both-arms control diamond (``ctrl2``) whose dependency GCC ``-O1``
+  deletes on Armv7 (§IV-D);
+* **RMW variants**: reads via ``fetch_add(x,0)``, writes via unused
+  ``atomic_exchange`` (the Fig. 1 family) and unused ``fetch_add``
+  (the Fig. 10 family).
+
+Generation is deterministic: the same config always yields the same test
+list, with diy-style names (``LB004``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.events import MemoryOrder
+from ..core.litmus import And, Condition, LocEq, Prop, RegEq, conj
+from ..lang.ast import (
+    AtomicLoad,
+    AtomicRMW,
+    AtomicStore,
+    BinExpr,
+    CLitmus,
+    CStmt,
+    CThread,
+    Decl,
+    ExprStmt,
+    Fence,
+    If,
+    IntLit,
+    PlainLoad,
+    PlainStore,
+    Var,
+)
+
+_VARS = ("x", "y", "z", "w", "v", "u")
+
+
+# --------------------------------------------------------------------------- #
+# shape descriptions
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ShapeEvent:
+    """One abstract access: ``R``/``W`` on variable index ``var``; for
+    writes, the value written; for reads, the value the interesting
+    outcome observes."""
+
+    kind: str  # "R" | "W"
+    var: int
+    value: int
+
+
+@dataclass(frozen=True)
+class Shape:
+    """An abstract litmus shape: per-thread access lists + the exists
+    clause as (observable, value) pairs.  Observables are either
+    ``("reg", tid, read_index, value)`` or ``("loc", var, value)``."""
+
+    name: str
+    threads: Tuple[Tuple[ShapeEvent, ...], ...]
+    cond: Tuple[Tuple, ...]
+
+    @property
+    def num_vars(self) -> int:
+        return 1 + max(e.var for t in self.threads for e in t)
+
+
+def lb_chain(n: int) -> Shape:
+    """The n-thread load-buffering chain: Ti reads x_i then writes
+    x_{i+1}; the interesting outcome sees every read return 1.
+    ``lb_chain(3)`` is the paper's Fig. 11 test."""
+    threads = tuple(
+        (ShapeEvent("R", i, 1), ShapeEvent("W", (i + 1) % n, 1))
+        for i in range(n)
+    )
+    cond = tuple(("reg", i, 0, 1) for i in range(n))
+    return Shape(f"LB{n}" if n != 2 else "LB", threads, cond)
+
+
+def sb_ring(n: int) -> Shape:
+    """The n-thread store-buffering ring: Ti writes x_i then reads
+    x_{i+1}; the interesting outcome sees every read return 0."""
+    threads = tuple(
+        (ShapeEvent("W", i, 1), ShapeEvent("R", (i + 1) % n, 0))
+        for i in range(n)
+    )
+    cond = tuple(("reg", i, 0, 0) for i in range(n))
+    return Shape(f"SB{n}" if n != 2 else "SB", threads, cond)
+
+
+_SHAPES: Dict[str, Shape] = {}
+
+
+def _register(shape: Shape) -> Shape:
+    _SHAPES[shape.name] = shape
+    return shape
+
+
+_register(lb_chain(2))
+_register(lb_chain(3))
+_register(lb_chain(4))
+_register(sb_ring(2))
+_register(sb_ring(3))
+_register(
+    Shape(
+        "MP",
+        (
+            (ShapeEvent("W", 0, 1), ShapeEvent("W", 1, 1)),
+            (ShapeEvent("R", 1, 1), ShapeEvent("R", 0, 0)),
+        ),
+        (("reg", 1, 0, 1), ("reg", 1, 1, 0)),
+    )
+)
+_register(
+    Shape(
+        "S",
+        (
+            (ShapeEvent("W", 0, 2), ShapeEvent("W", 1, 1)),
+            (ShapeEvent("R", 1, 1), ShapeEvent("W", 0, 1)),
+        ),
+        (("reg", 1, 0, 1), ("loc", 0, 2)),
+    )
+)
+_register(
+    Shape(
+        "R",
+        (
+            (ShapeEvent("W", 0, 1), ShapeEvent("W", 1, 1)),
+            (ShapeEvent("W", 1, 2), ShapeEvent("R", 0, 0)),
+        ),
+        (("loc", 1, 2), ("reg", 1, 0, 0)),
+    )
+)
+_register(
+    Shape(
+        "2+2W",
+        (
+            (ShapeEvent("W", 0, 1), ShapeEvent("W", 1, 2)),
+            (ShapeEvent("W", 1, 1), ShapeEvent("W", 0, 2)),
+        ),
+        (("loc", 0, 1), ("loc", 1, 1)),
+    )
+)
+_register(
+    Shape(
+        "WRC",
+        (
+            (ShapeEvent("W", 0, 1),),
+            (ShapeEvent("R", 0, 1), ShapeEvent("W", 1, 1)),
+            (ShapeEvent("R", 1, 1), ShapeEvent("R", 0, 0)),
+        ),
+        (("reg", 1, 0, 1), ("reg", 2, 0, 1), ("reg", 2, 1, 0)),
+    )
+)
+_register(
+    Shape(
+        # ISA2: message passing through a three-thread chain
+        "ISA2",
+        (
+            (ShapeEvent("W", 0, 1), ShapeEvent("W", 1, 1)),
+            (ShapeEvent("R", 1, 1), ShapeEvent("W", 2, 1)),
+            (ShapeEvent("R", 2, 1), ShapeEvent("R", 0, 0)),
+        ),
+        (("reg", 1, 0, 1), ("reg", 2, 0, 1), ("reg", 2, 1, 0)),
+    )
+)
+_register(
+    Shape(
+        # RWC (read-to-write causality): a reader between SB halves
+        "RWC",
+        (
+            (ShapeEvent("W", 0, 1),),
+            (ShapeEvent("R", 0, 1), ShapeEvent("R", 1, 0)),
+            (ShapeEvent("W", 1, 1), ShapeEvent("R", 0, 0)),
+        ),
+        (("reg", 1, 0, 1), ("reg", 1, 1, 0), ("reg", 2, 0, 0)),
+    )
+)
+_register(
+    Shape(
+        "IRIW",
+        (
+            (ShapeEvent("W", 0, 1),),
+            (ShapeEvent("W", 1, 1),),
+            (ShapeEvent("R", 0, 1), ShapeEvent("R", 1, 0)),
+            (ShapeEvent("R", 1, 1), ShapeEvent("R", 0, 0)),
+        ),
+        (("reg", 2, 0, 1), ("reg", 2, 1, 0), ("reg", 3, 0, 1), ("reg", 3, 1, 0)),
+    )
+)
+
+
+def shape_names() -> List[str]:
+    return sorted(_SHAPES)
+
+
+def get_shape(name: str) -> Shape:
+    return _SHAPES[name]
+
+
+# --------------------------------------------------------------------------- #
+# decoration axes
+# --------------------------------------------------------------------------- #
+#: uniform memory-order assignments ("ar" = loads acquire, stores release).
+ORDER_CHOICES = ("rlx", "ar", "sc")
+
+#: dependency decorations for read→write threads.
+DEP_CHOICES = ("po", "data", "ctrl", "ctrl2")
+
+#: RMW variants.
+VARIANT_CHOICES = ("load-store", "rmw-read", "xchg-write", "faa-first-unused")
+
+_ORDER_MAP = {
+    "rlx": (MemoryOrder.RLX, MemoryOrder.RLX),
+    "ar": (MemoryOrder.ACQ, MemoryOrder.REL),
+    "sc": (MemoryOrder.SC, MemoryOrder.SC),
+}
+
+
+@dataclass(frozen=True)
+class DiyConfig:
+    """Generation configuration — the analogue of ``c11.conf``."""
+
+    shapes: Tuple[str, ...] = ("MP", "LB", "SB", "S", "R", "2+2W", "WRC")
+    orders: Tuple[str, ...] = ("rlx", "sc")
+    fences: Tuple[Optional[MemoryOrder], ...] = (
+        None,
+        MemoryOrder.RLX,
+        MemoryOrder.ACQ_REL,
+        MemoryOrder.SC,
+    )
+    deps: Tuple[str, ...] = ("po", "data", "ctrl", "ctrl2")
+    variants: Tuple[str, ...] = ("load-store",)
+    include_plain: bool = False
+    limit: Optional[int] = None
+
+
+def small_config() -> DiyConfig:
+    """A laptop-scale config (a few dozen tests) for quick runs."""
+    return DiyConfig(
+        shapes=("MP", "LB", "SB"),
+        orders=("rlx",),
+        fences=(None, MemoryOrder.SC),
+        deps=("po", "ctrl2"),
+        variants=("load-store",),
+    )
+
+
+def paper_config() -> DiyConfig:
+    """The scaled-down analogue of the paper's c11.conf campaign input."""
+    return DiyConfig(
+        shapes=("MP", "LB", "SB", "S", "R", "2+2W", "WRC", "IRIW"),
+        orders=("rlx", "ar", "sc"),
+        fences=(None, MemoryOrder.RLX, MemoryOrder.ACQ, MemoryOrder.REL,
+                MemoryOrder.SC),
+        deps=("po", "data", "ctrl", "ctrl2"),
+        variants=("load-store", "rmw-read", "xchg-write", "faa-first-unused"),
+        include_plain=True,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# test construction
+# --------------------------------------------------------------------------- #
+def _build_thread(
+    tid: int,
+    events: Tuple[ShapeEvent, ...],
+    num_vars: int,
+    order_choice: str,
+    fence: Optional[MemoryOrder],
+    dep: str,
+    variant: str,
+    atomic: bool,
+    expected_reads: Dict[int, int],
+) -> CThread:
+    load_order, store_order = _ORDER_MAP[order_choice]
+    body: List[CStmt] = []
+    read_index = 0
+    last_read_var: Optional[str] = None
+
+    def make_read(event: ShapeEvent, reg: str) -> CStmt:
+        loc = _VARS[event.var]
+        if not atomic:
+            return Decl(reg, PlainLoad(loc))
+        if variant == "rmw-read":
+            return Decl(reg, AtomicRMW("add", loc, IntLit(0), load_order))
+        return Decl(reg, AtomicLoad(loc, load_order))
+
+    def make_write(event: ShapeEvent, value_expr) -> CStmt:
+        loc = _VARS[event.var]
+        if not atomic:
+            return PlainStore(loc, value_expr)
+        if variant == "xchg-write":
+            return ExprStmt(AtomicRMW("xchg", loc, value_expr, store_order))
+        return AtomicStore(loc, value_expr, store_order)
+
+    is_rw_thread = (
+        len(events) == 2 and events[0].kind == "R" and events[1].kind == "W"
+    )
+    for position, event in enumerate(events):
+        if position > 0:
+            if is_rw_thread and dep != "po":
+                pass  # the dependency itself orders; no fence
+            elif fence is not None:
+                body.append(Fence(fence))
+        if event.kind == "R":
+            reg = f"r{read_index}"
+            if variant == "faa-first-unused" and position == 0 and atomic:
+                # the Fig. 10 decoration: the first read becomes an unused
+                # fetch_add, bumping the location's final value by 1
+                body.append(
+                    Decl(f"r{read_index}_rmw",
+                         AtomicRMW("add", _VARS[event.var], IntLit(1),
+                                   load_order))
+                )
+                read_index += 1
+                last_read_var = None
+                continue
+            body.append(make_read(event, reg))
+            expected_reads[read_index] = event.value
+            last_read_var = reg
+            read_index += 1
+            continue
+        # a write
+        value_expr = IntLit(event.value)
+        if is_rw_thread and position == 1 and last_read_var is not None:
+            if dep == "data":
+                # write the read value itself: a true data dependency
+                # (constant-folding cannot remove it)
+                value_expr = Var(last_read_var)
+            elif dep == "ctrl":
+                body.append(
+                    If(
+                        BinExpr("==", Var(last_read_var),
+                                IntLit(expected_reads.get(read_index - 1, 1))),
+                        (make_write(event, IntLit(event.value)),),
+                    )
+                )
+                continue
+            elif dep == "ctrl2":
+                # the both-arms diamond: same store on each path — a pure
+                # control dependency that identical-branch merging deletes
+                body.append(
+                    If(
+                        BinExpr("==", Var(last_read_var),
+                                IntLit(expected_reads.get(read_index - 1, 1))),
+                        (make_write(event, IntLit(event.value)),),
+                        (make_write(event, IntLit(event.value)),),
+                    )
+                )
+                continue
+        body.append(make_write(event, value_expr))
+
+    params = tuple(_VARS[:num_vars])
+    return CThread(
+        name=f"P{tid}",
+        params=params,
+        body=tuple(body),
+        atomic_params=params if atomic else (),
+    )
+
+
+def _build_condition(shape: Shape, variant: str, dep: str) -> Condition:
+    props: List[Prop] = []
+    for entry in shape.cond:
+        if entry[0] == "reg":
+            _, tid, read_index, value = entry
+            props.append(RegEq(f"P{tid}", f"r{read_index}", value))
+        else:
+            _, var, value = entry
+            if variant == "faa-first-unused":
+                # every reading thread's first read became a fetch_add(+1)
+                # on its variable; the final value of that variable rises
+                value = value + sum(
+                    1
+                    for thread in shape.threads
+                    if thread and thread[0].kind == "R" and thread[0].var == var
+                )
+            props.append(LocEq(_VARS[var], value))
+    if variant == "faa-first-unused":
+        # condition on the bumped locations replaces deleted registers
+        extra: List[Prop] = []
+        for tid, thread in enumerate(shape.threads):
+            if thread and thread[0].kind == "R":
+                var = thread[0].var
+                already = any(
+                    entry[0] == "loc" and entry[1] == var for entry in shape.cond
+                )
+                if not already:
+                    base_final = _final_value(shape, var)
+                    extra.append(LocEq(_VARS[var], base_final + 1))
+        props = [
+            p for p in props
+            if not (isinstance(p, RegEq) and p.reg.endswith("0") and _first_read_reg(shape, p))
+        ] + extra
+    return Condition("exists", conj(props))
+
+
+def _first_read_reg(shape: Shape, prop: RegEq) -> bool:
+    """Is this RegEq observing a thread's *first* read (deleted by the
+    faa-first-unused decoration)?"""
+    tid = int(prop.thread[1:])
+    thread = shape.threads[tid]
+    return bool(thread) and thread[0].kind == "R" and prop.reg == "r0"
+
+
+def _final_value(shape: Shape, var: int) -> int:
+    """The final value of ``var`` in the interesting outcome (the last
+    write in the shape's intended coherence order; 0 if never written)."""
+    values = [e.value for t in shape.threads for e in t
+              if e.kind == "W" and e.var == var]
+    return max(values) if values else 0
+
+
+def build_test(
+    shape: Shape,
+    order_choice: str = "rlx",
+    fence: Optional[MemoryOrder] = None,
+    dep: str = "po",
+    variant: str = "load-store",
+    atomic: bool = True,
+    name: Optional[str] = None,
+) -> CLitmus:
+    """Instantiate one decorated litmus test from a shape."""
+    expected_reads: Dict[int, int] = {}
+    threads = tuple(
+        _build_thread(tid, events, shape.num_vars, order_choice, fence, dep,
+                      variant, atomic, expected_reads)
+        for tid, events in enumerate(shape.threads)
+    )
+    init = {_VARS[i]: 0 for i in range(shape.num_vars)}
+    condition = _build_condition(shape, variant, dep)
+    return CLitmus(
+        name=name or shape.name,
+        init=init,
+        condition=condition,
+        threads=threads,
+    )
+
+
+def generate(config: DiyConfig) -> List[CLitmus]:
+    """Enumerate the configured test family, deterministically."""
+    tests: List[CLitmus] = []
+    counters: Dict[str, int] = {}
+    atomic_choices = (True, False) if config.include_plain else (True,)
+    for shape_name in config.shapes:
+        shape = _SHAPES[shape_name]
+        has_rw = any(
+            len(t) == 2 and t[0].kind == "R" and t[1].kind == "W"
+            for t in shape.threads
+        )
+        for order_choice, fence, dep, variant, atomic in itertools.product(
+            config.orders, config.fences, config.deps, config.variants,
+            atomic_choices,
+        ):
+            if dep != "po" and not has_rw:
+                continue  # dependency decorations need a read→write thread
+            if dep != "po" and fence is not None:
+                continue  # dependency replaces the fence slot
+            if not atomic and variant != "load-store":
+                continue  # RMW variants are atomic by nature
+            if variant == "faa-first-unused" and not any(
+                t and t[0].kind == "R" for t in shape.threads
+            ):
+                continue
+            counters[shape_name] = counters.get(shape_name, 0) + 1
+            name = f"{shape_name}{counters[shape_name]:03d}"
+            tests.append(
+                build_test(shape, order_choice, fence, dep, variant, atomic,
+                           name=name)
+            )
+            if config.limit is not None and len(tests) >= config.limit:
+                return tests
+    return tests

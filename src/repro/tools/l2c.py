@@ -1,0 +1,162 @@
+"""``l2c`` — litmus2c: prepare a C litmus test for compilation (Fig. 6).
+
+Two responsibilities:
+
+1. **Local-variable augmentation** (§IV-B).  C/C++ models allow compilers
+   to delete unused thread-local data, which erases exactly the
+   observables litmus conditions need (Fig. 9) and masks the Fig. 1 /
+   Fig. 10 heisenbugs.  The augmentation appends, at the end of each
+   thread, a plain store of every observed local into a fresh global
+   ``out_Pn_r``, and rewrites the initial state and the final-state
+   condition to use those globals.  The original code under test is
+   unchanged — only the constraint "local data persists" is added.
+   The augmentation is optional (``augment_locals=False``) so that
+   thread-local optimisations themselves can be tested, reproducing the
+   Fig. 9 deletion.
+
+2. **Mutation fuzzing** (the optional "fuzz S′" of Fig. 6): order- and
+   fence-weakening mutations that enlarge a test family, in the spirit of
+   CCmutator [46].
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from ..core.events import MemoryOrder
+from ..core.litmus import And, Condition, LocEq, Not, Or, Prop, RegEq, TrueProp
+from ..lang.ast import (
+    AtomicLoad,
+    AtomicRMW,
+    AtomicStore,
+    CLitmus,
+    CStmt,
+    CThread,
+    Fence,
+    PlainStore,
+    Var,
+)
+
+
+def out_global(thread: str, local: str) -> str:
+    """The global that persists ``thread``'s local ``local``."""
+    return f"out_{thread}_{local}"
+
+
+def _rewrite_prop(prop: Prop, renames: Dict[Tuple[str, str], str]) -> Prop:
+    if isinstance(prop, RegEq):
+        key = (prop.thread, prop.reg)
+        if key in renames:
+            return LocEq(renames[key], prop.value)
+        return prop
+    if isinstance(prop, And):
+        return And(_rewrite_prop(prop.left, renames), _rewrite_prop(prop.right, renames))
+    if isinstance(prop, Or):
+        return Or(_rewrite_prop(prop.left, renames), _rewrite_prop(prop.right, renames))
+    if isinstance(prop, Not):
+        return Not(_rewrite_prop(prop.inner, renames))
+    return prop
+
+
+def augment_locals(litmus: CLitmus) -> CLitmus:
+    """Persist observed locals into ``out_*`` globals (paper §IV-B).
+
+    Returns a new litmus test whose condition references the globals; the
+    observable set becomes a pure final-memory predicate, which survives
+    compilation because global stores cannot be deleted.
+    """
+    renames: Dict[Tuple[str, str], str] = {}
+    observed = litmus.locals_read_in_condition()
+    new_threads: List[CThread] = []
+    new_init = dict(litmus.init)
+    for thread in litmus.threads:
+        extra: List[CStmt] = []
+        for local in sorted(observed.get(thread.name, ())):
+            global_name = out_global(thread.name, local)
+            renames[(thread.name, local)] = global_name
+            new_init[global_name] = 0
+            extra.append(PlainStore(loc=global_name, expr=Var(local)))
+        new_threads.append(
+            CThread(
+                name=thread.name,
+                params=thread.params,
+                body=tuple(thread.body) + tuple(extra),
+                atomic_params=thread.atomic_params,
+            )
+        )
+    condition = Condition(
+        litmus.condition.quantifier,
+        _rewrite_prop(litmus.condition.prop, renames),
+    )
+    return CLitmus(
+        name=litmus.name,
+        init=new_init,
+        condition=condition,
+        threads=tuple(new_threads),
+        widths=dict(litmus.widths),
+        const_locations=litmus.const_locations,
+    )
+
+
+def prepare(litmus: CLitmus, augment: bool = True) -> CLitmus:
+    """The l2c entry point: S → S′ ready for compilation."""
+    return augment_locals(litmus) if augment else litmus
+
+
+# --------------------------------------------------------------------------- #
+# mutation fuzzing (optional step of Fig. 6)
+# --------------------------------------------------------------------------- #
+#: order-weakening ladder used by the fuzzer.
+_WEAKER: Dict[MemoryOrder, Tuple[MemoryOrder, ...]] = {
+    MemoryOrder.SC: (MemoryOrder.ACQ_REL, MemoryOrder.ACQ, MemoryOrder.REL,
+                     MemoryOrder.RLX),
+    MemoryOrder.ACQ_REL: (MemoryOrder.ACQ, MemoryOrder.REL, MemoryOrder.RLX),
+    MemoryOrder.ACQ: (MemoryOrder.RLX,),
+    MemoryOrder.REL: (MemoryOrder.RLX,),
+}
+
+
+def _mutate_stmt(stmt: CStmt) -> List[CStmt]:
+    """All single-statement order weakenings."""
+    out: List[CStmt] = []
+    if isinstance(stmt, AtomicStore):
+        for weaker in _WEAKER.get(stmt.order, ()):
+            out.append(replace(stmt, order=weaker))
+    elif isinstance(stmt, Fence):
+        for weaker in _WEAKER.get(stmt.order, ()):
+            out.append(replace(stmt, order=weaker))
+    return out
+
+
+def fuzz_variants(litmus: CLitmus, limit: int = 16) -> List[CLitmus]:
+    """Single-mutation variants of a test (order weakening on stores and
+    fences).  Each variant exercises a different compiler mapping while
+    keeping the final-state condition meaningful."""
+    variants: List[CLitmus] = []
+    for t_index, thread in enumerate(litmus.threads):
+        for s_index, stmt in enumerate(thread.body):
+            for mutated in _mutate_stmt(stmt):
+                body = list(thread.body)
+                body[s_index] = mutated
+                threads = list(litmus.threads)
+                threads[t_index] = CThread(
+                    name=thread.name,
+                    params=thread.params,
+                    body=tuple(body),
+                    atomic_params=thread.atomic_params,
+                )
+                variants.append(
+                    CLitmus(
+                        name=f"{litmus.name}+m{len(variants)}",
+                        init=dict(litmus.init),
+                        condition=litmus.condition,
+                        threads=tuple(threads),
+                        widths=dict(litmus.widths),
+                        const_locations=litmus.const_locations,
+                    )
+                )
+                if len(variants) >= limit:
+                    return variants
+    return variants

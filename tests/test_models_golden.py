@@ -1,0 +1,207 @@
+"""Golden outcome tests for the shipped memory models.
+
+Each classic litmus family has a known allowed/forbidden verdict per
+model (the decade of litmus-testing literature the paper builds on).
+These tests pin our Cat models to those verdicts.
+"""
+
+import pytest
+
+from repro.core.events import MemoryOrder
+from repro.herd import simulate_c
+from repro.lang import parse_c_litmus
+from repro.tools.diy import build_test, get_shape
+
+MO = {
+    "rlx": "memory_order_relaxed",
+    "acq": "memory_order_acquire",
+    "rel": "memory_order_release",
+    "sc": "memory_order_seq_cst",
+}
+
+
+def run(source, model, name="t"):
+    litmus = parse_c_litmus(source, name)
+    result = simulate_c(litmus, model)
+    return result, litmus
+
+
+def condition_holds(source, model):
+    result, litmus = run(source, model)
+    return result.condition_holds(litmus.condition)
+
+
+SB_RLX = """
+C sb
+{ *x = 0; *y = 0; }
+void P0(atomic_int* y, atomic_int* x) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+  int r0 = atomic_load_explicit(y, memory_order_relaxed);
+}
+void P1(atomic_int* y, atomic_int* x) {
+  atomic_store_explicit(y, 1, memory_order_relaxed);
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+}
+exists (P0:r0=0 /\\ P1:r0=0)
+"""
+
+SB_SC = SB_RLX.replace("memory_order_relaxed", "memory_order_seq_cst")
+
+MP_REL_ACQ = """
+C mp
+{ *x = 0; *y = 0; }
+void P0(atomic_int* y, atomic_int* x) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+  atomic_store_explicit(y, 1, memory_order_release);
+}
+void P1(atomic_int* y, atomic_int* x) {
+  int r0 = atomic_load_explicit(y, memory_order_acquire);
+  int r1 = atomic_load_explicit(x, memory_order_relaxed);
+}
+exists (P1:r0=1 /\\ P1:r1=0)
+"""
+
+MP_RLX = (
+    MP_REL_ACQ.replace("memory_order_release", "memory_order_relaxed")
+    .replace("memory_order_acquire", "memory_order_relaxed")
+)
+
+LB_RLX = """
+C lb
+{ *x = 0; *y = 0; }
+void P0(atomic_int* y, atomic_int* x) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+  atomic_store_explicit(y, 1, memory_order_relaxed);
+}
+void P1(atomic_int* y, atomic_int* x) {
+  int r0 = atomic_load_explicit(y, memory_order_relaxed);
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+}
+exists (P0:r0=1 /\\ P1:r0=1)
+"""
+
+
+class TestSc:
+    def test_sc_forbids_sb(self):
+        assert not condition_holds(SB_RLX, "sc")
+
+    def test_sc_forbids_lb(self):
+        assert not condition_holds(LB_RLX, "sc")
+
+    def test_sc_forbids_mp_stale(self):
+        assert not condition_holds(MP_RLX, "sc")
+
+    def test_sc_allows_interleavings(self):
+        result, litmus = run(SB_RLX, "sc")
+        # SC still allows 0/1, 1/0 and 1/1
+        assert len(result.outcomes) == 3
+
+
+class TestRc11:
+    def test_relaxed_sb_allowed(self):
+        assert condition_holds(SB_RLX, "rc11")
+
+    def test_seq_cst_sb_forbidden(self):
+        assert not condition_holds(SB_SC, "rc11")
+
+    def test_release_acquire_mp_forbidden(self):
+        assert not condition_holds(MP_REL_ACQ, "rc11")
+
+    def test_relaxed_mp_allowed(self):
+        assert condition_holds(MP_RLX, "rc11")
+
+    def test_lb_forbidden_no_thin_air(self):
+        """RC11's conservative po|rf acyclicity forbids all load buffering."""
+        assert not condition_holds(LB_RLX, "rc11")
+
+    def test_coherence_single_location(self):
+        source = """
+C coRR
+{ *x = 0; }
+void P0(atomic_int* x) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+}
+void P1(atomic_int* x) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+  int r1 = atomic_load_explicit(x, memory_order_relaxed);
+}
+exists (P1:r0=1 /\\ P1:r1=0)
+"""
+        assert not condition_holds(source, "rc11")
+
+    def test_atomicity_of_rmw(self):
+        source = """
+C rmw_atomic
+{ *x = 0; }
+void P0(atomic_int* x) {
+  int r0 = atomic_fetch_add_explicit(x, 1, memory_order_relaxed);
+}
+void P1(atomic_int* x) {
+  int r0 = atomic_fetch_add_explicit(x, 1, memory_order_relaxed);
+}
+exists (x=2)
+"""
+        result, litmus = run(source, "rc11")
+        # both increments always land: x=2 is the only final value
+        finals = {o.as_dict()["x"] for o in result.outcomes}
+        assert finals == {2}
+
+    def test_data_race_flagged_as_ub(self):
+        source = """
+C racy
+{ *x = 0; }
+void P0(int* x) { *x = 1; }
+void P1(int* x) { int r0 = *x; }
+exists (P1:r0=1)
+"""
+        result, _ = run(source, "rc11")
+        assert result.has_undefined_behaviour
+
+    def test_no_race_flag_when_synchronised(self):
+        result, _ = run(MP_REL_ACQ, "rc11")
+        assert not result.has_undefined_behaviour
+
+
+class TestRc11Lb:
+    def test_lb_allowed(self):
+        """rc11+lb permits dependency-free load buffering (ISO C/C++)."""
+        assert condition_holds(LB_RLX, "rc11+lb")
+
+    def test_dependency_cycles_still_forbidden(self):
+        """Genuine out-of-thin-air stays forbidden under rc11+lb."""
+        source = """
+C oota
+{ *x = 0; *y = 0; }
+void P0(atomic_int* y, atomic_int* x) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+  atomic_store_explicit(y, r0, memory_order_relaxed);
+}
+void P1(atomic_int* y, atomic_int* x) {
+  int r0 = atomic_load_explicit(y, memory_order_relaxed);
+  atomic_store_explicit(x, r0, memory_order_relaxed);
+}
+exists (P0:r0=1 /\\ P1:r0=1)
+"""
+        assert not condition_holds(source, "rc11+lb")
+
+    def test_outcome_superset_of_rc11(self):
+        for source in (SB_RLX, MP_RLX, LB_RLX):
+            strict, litmus = run(source, "rc11")
+            relaxed, _ = run(source, "rc11+lb")
+            assert strict.outcomes <= relaxed.outcomes
+
+
+class TestC11Variants:
+    def test_c11_simp_weakest(self):
+        """Coherence-only model allows SB, LB and stale MP."""
+        assert condition_holds(SB_RLX, "c11_simp")
+        assert condition_holds(LB_RLX, "c11_simp")
+        assert condition_holds(MP_RLX, "c11_simp")
+
+    def test_c11_partialsc_allows_sc_sb(self):
+        """Without the SC axiom, even seq_cst SB is allowed."""
+        assert condition_holds(SB_SC, "c11_partialsc")
+        assert not condition_holds(SB_SC, "rc11")
+
+    def test_partialsc_still_has_coherence(self):
+        assert not condition_holds(MP_REL_ACQ, "c11_partialsc")

@@ -1,0 +1,274 @@
+"""Tests for the object-file model, disassembler, and the l2c/c2s/s2l tools."""
+
+import pytest
+
+from repro.compiler import (
+    compile_program,
+    disassemble,
+    link_layout,
+    lower,
+    make_profile,
+    strip_listing,
+)
+from repro.compiler.objfile import DATA_BASE, GOT_BASE, RODATA_BASE
+from repro.core.errors import MappingError
+from repro.core.events import MemoryOrder
+from repro.core.litmus import LocEq
+from repro.lang import parse_c_litmus
+from repro.lang.ast import PlainStore
+from repro.papertests import fig7_lb, fig10_mp_rmw
+from repro.tools import (
+    S2LStats,
+    assembly_to_litmus,
+    augment_locals,
+    compile_and_disassemble,
+    fuzz_variants,
+    mcompare,
+    out_global,
+    prepare,
+)
+from repro.tools.mcompare import StateMapping
+from repro.herd import simulate_asm, simulate_c
+
+
+def build_obj(litmus=None, profile=None, augment=True):
+    litmus = litmus or fig7_lb()
+    profile = profile or make_profile("llvm", "-O2", "aarch64")
+    prepared = prepare(litmus, augment=augment)
+    return compile_and_disassemble(prepared, profile), prepared
+
+
+class TestL2c:
+    def test_augment_adds_out_globals(self):
+        augmented = augment_locals(fig7_lb())
+        assert "out_P0_r0" in augmented.init
+        assert "out_P1_r0" in augmented.init
+        stores = [s for s in augmented.threads[0].body if isinstance(s, PlainStore)]
+        assert stores and stores[-1].loc == "out_P0_r0"
+
+    def test_augment_rewrites_condition(self):
+        augmented = augment_locals(fig7_lb())
+        assert augmented.condition.observables() == frozenset(
+            {"out_P0_r0", "out_P1_r0"}
+        )
+
+    def test_augment_leaves_original_code(self):
+        original = fig7_lb()
+        augmented = augment_locals(original)
+        assert augmented.threads[0].body[: len(original.threads[0].body)] == \
+            original.threads[0].body
+
+    def test_augment_only_observed_locals(self):
+        augmented = augment_locals(fig10_mp_rmw())
+        # condition observes P1:r0 and y; r1 is not observed
+        assert out_global("P1", "r1") not in augmented.init
+        assert out_global("P1", "r0") in augmented.init
+
+    def test_out_global_naming(self):
+        assert out_global("P2", "r7") == "out_P2_r7"
+
+    def test_prepare_no_augment_is_identity(self):
+        litmus = fig7_lb()
+        assert prepare(litmus, augment=False) is litmus
+
+    def test_fuzz_variants_weaken_orders(self):
+        variants = fuzz_variants(fig10_mp_rmw(), limit=8)
+        assert variants
+        assert all(v.name.startswith("fig10_mp_rmw+m") for v in variants)
+
+    def test_fuzz_respects_limit(self):
+        assert len(fuzz_variants(fig10_mp_rmw(), limit=2)) == 2
+
+
+class TestObjectFile:
+    def test_layout_sections(self):
+        (c2s, _) = build_obj()
+        data_syms = [s for s in c2s.obj.symbols if s.section == ".data"]
+        got_syms = [s for s in c2s.obj.symbols if s.section == ".got"]
+        assert all(s.address >= DATA_BASE for s in data_syms)
+        assert all(s.address >= GOT_BASE for s in got_syms)
+
+    def test_rodata_for_const(self):
+        source = """
+C t
+{ const *c = 5; }
+void P0(atomic_int* c) {
+  int r0 = atomic_load_explicit(c, memory_order_relaxed);
+}
+exists (P0:r0=5)
+"""
+        litmus = parse_c_litmus(source)
+        c2s, _ = build_obj(litmus)
+        sym = c2s.obj.symbol("c")
+        assert sym.section == ".rodata" and sym.address >= RODATA_BASE
+
+    def test_symbol_at_resolves_interior(self):
+        c2s, _ = build_obj()
+        sym = c2s.obj.symbol("x")
+        assert c2s.obj.symbol_at(sym.address) == sym
+        assert c2s.obj.symbol_at(0xFFFFFF) is None
+
+    def test_relocations_cover_movaddr_sites(self):
+        c2s, _ = build_obj()
+        assert c2s.obj.relocations
+        assert all(r.kind in ("GOT", "ABS") for r in c2s.obj.relocations)
+
+    def test_got_entries_point_at_targets(self):
+        c2s, _ = build_obj()
+        assert c2s.obj.got_entries.get("got_x") == "x"
+
+    def test_stack_symbols_at_o0(self):
+        c2s, _ = build_obj(profile=make_profile("llvm", "-O0", "aarch64"))
+        assert c2s.obj.debug.stack_symbols
+        assert any(s.section == ".stack" for s in c2s.obj.symbols)
+
+
+class TestDisassembler:
+    def test_numeric_view_hides_symbols(self):
+        c2s, _ = build_obj()
+        lines = c2s.listing["P0"]
+        text = "\n".join(lines)
+        assert "0x13" in text  # GOT addresses shown numerically
+        assert "got_x" not in text
+
+    def test_symbolic_view_option(self):
+        c2s, _ = build_obj()
+        lines = disassemble(c2s.obj, numeric=False)["P0"]
+        assert any("got_" in line for line in lines)
+
+    def test_strip_listing_removes_addresses(self):
+        c2s, _ = build_obj()
+        stripped = strip_listing(c2s.listing["P0"])
+        assert all(not line.startswith(" ") or ":" not in line.split()[0]
+                   for line in stripped)
+
+
+class TestS2l:
+    def test_address_bridging(self):
+        c2s, prepared = build_obj()
+        asm = assembly_to_litmus(c2s.obj, prepared.condition, listing=c2s.listing)
+        # numeric operands resolved back to symbols
+        symbols = {
+            i.symbol
+            for t in asm.threads
+            for i in t.instructions
+            if i.symbol
+        }
+        assert symbols and all(not s.startswith("0x") for s in symbols)
+
+    def test_unresolvable_address_raises(self):
+        c2s, prepared = build_obj()
+        broken = [line.replace("0x13", "0xff") for line in c2s.listing["P0"]]
+        listing = dict(c2s.listing)
+        listing["P0"] = broken
+        with pytest.raises(MappingError):
+            assembly_to_litmus(c2s.obj, prepared.condition, listing=listing)
+
+    def test_got_folding_removes_reads(self):
+        c2s, prepared = build_obj()
+        stats = S2LStats()
+        asm = assembly_to_litmus(
+            c2s.obj, prepared.condition, listing=c2s.listing, stats=stats
+        )
+        assert stats.removed_got_loads > 0
+        # the optimised test reads no GOT slot
+        assert all(
+            tpl.loc is None or not tpl.loc.startswith("got_")
+            for t in asm.threads
+            for tpl in []
+        )
+
+    def test_unoptimised_keeps_got_traffic(self):
+        c2s, prepared = build_obj()
+        raw = assembly_to_litmus(
+            c2s.obj, prepared.condition, listing=c2s.listing, optimise=False
+        )
+        opt = assembly_to_litmus(
+            c2s.obj, prepared.condition, listing=c2s.listing, optimise=True
+        )
+        def count(asm):
+            return sum(len(t.instructions) for t in asm.threads)
+        assert count(raw) > count(opt)
+
+    def test_outcomes_preserved_by_optimisation(self):
+        """The paper's soundness claim: s2l rewrites touch only locations
+        other threads cannot name, so outcomes are identical."""
+        for opt_level in ("-O0", "-O2"):
+            c2s, prepared = build_obj(
+                profile=make_profile("llvm", opt_level, "aarch64")
+            )
+            raw = assembly_to_litmus(
+                c2s.obj, prepared.condition, listing=c2s.listing, optimise=False
+            )
+            opt = assembly_to_litmus(
+                c2s.obj, prepared.condition, listing=c2s.listing, optimise=True
+            )
+            raw_result = simulate_asm(raw)
+            opt_result = simulate_asm(opt)
+            mapping = StateMapping(
+                observables=frozenset(prepared.init) | prepared.condition.observables()
+            )
+            raw_set = {mapping.apply(o) for o in raw_result.outcomes}
+            opt_set = {mapping.apply(o) for o in opt_result.outcomes}
+            assert raw_set == opt_set, f"outcomes drift at {opt_level}"
+
+    def test_spill_forwarding_at_o0(self):
+        c2s, prepared = build_obj(profile=make_profile("llvm", "-O0", "aarch64"))
+        stats = S2LStats()
+        asm = assembly_to_litmus(
+            c2s.obj, prepared.condition, listing=c2s.listing, stats=stats
+        )
+        assert stats.removed_stack_accesses > 0
+
+    def test_stats_removed_lines_per_access(self):
+        """Paper §IV-D: 'removes around 4 lines of code per access'."""
+        c2s, prepared = build_obj(profile=make_profile("llvm", "-O0", "aarch64"))
+        stats = S2LStats()
+        assembly_to_litmus(
+            c2s.obj, prepared.condition, listing=c2s.listing, stats=stats
+        )
+        accesses = 6  # 2 threads x (load + store + out-store)
+        assert stats.total_removed / accesses >= 2
+
+
+class TestMcompare:
+    def run_pair(self, source_model="rc11"):
+        c2s, prepared = build_obj()
+        asm = assembly_to_litmus(c2s.obj, prepared.condition, listing=c2s.listing)
+        src = simulate_c(prepared, source_model)
+        tgt = simulate_asm(asm)
+        return mcompare(
+            src, tgt,
+            shared_locations=list(prepared.init),
+            condition_observables=prepared.condition.observables(),
+        )
+
+    def test_positive_difference_found(self):
+        comparison = self.run_pair("rc11")
+        assert comparison.verdict() == "positive"
+        assert comparison.is_positive and not comparison.is_equal
+
+    def test_rc11_lb_equal(self):
+        comparison = self.run_pair("rc11+lb")
+        assert comparison.verdict() == "equal"
+
+    def test_pretty_marks_new_outcomes(self):
+        comparison = self.run_pair("rc11")
+        assert "<- NEW (positive difference)" in comparison.pretty()
+
+    def test_mapping_projects_missing_to_zero(self):
+        from repro.core.execution import Outcome
+
+        mapping = StateMapping(observables=frozenset({"x", "P0:r0"}))
+        applied = mapping.apply(Outcome.of({"x": 1, "junk": 9}))
+        assert applied.as_dict() == {"x": 1, "P0:r0": 0}
+
+    def test_renames_applied(self):
+        from repro.core.execution import Outcome
+
+        mapping = StateMapping(
+            observables=frozenset({"out_P0_r0"}),
+            renames=(("P0:r0", "out_P0_r0"),),
+        )
+        applied = mapping.apply(Outcome.of({"P0:r0": 3}))
+        assert applied.as_dict() == {"out_P0_r0": 3}

@@ -1,0 +1,100 @@
+"""Tests for compiler profiles, epochs and the bug-injection registry."""
+
+import pytest
+
+from repro.compiler import bugs
+from repro.compiler.profiles import (
+    ARCHES,
+    GCC_OPT_LEVELS,
+    LLVM_OPT_LEVELS,
+    CompilerProfile,
+    default_profiles,
+    make_profile,
+)
+from repro.core.errors import CompilationError
+
+
+class TestProfiles:
+    def test_name_follows_artefact_convention(self):
+        profile = make_profile("llvm", "-O3", "aarch64")
+        assert profile.name == "llvm-O3-AArch64"
+        assert make_profile("gcc", "-O1", "riscv64").name == "gcc-O1-RISC-V"
+
+    def test_clang_rejects_og(self):
+        """Table IV: 'clang does not support -Og flag'."""
+        with pytest.raises(CompilationError):
+            make_profile("llvm", "-Og", "aarch64")
+        make_profile("gcc", "-Og", "aarch64")  # fine for gcc
+
+    def test_unknown_compiler_rejected(self):
+        with pytest.raises(CompilationError):
+            make_profile("icc", "-O2", "x86_64")
+
+    def test_unknown_epoch_rejected(self):
+        with pytest.raises(CompilationError):
+            make_profile("llvm", "-O2", "aarch64", version=99)
+
+    def test_opt_rank_ordering(self):
+        ranks = [make_profile("gcc", opt, "aarch64").opt_rank
+                 for opt in ("-O0", "-Og", "-O1", "-O2", "-O3", "-Ofast")]
+        assert ranks == [0, 0, 1, 2, 3, 3]
+
+    def test_lse_default_only_on_aarch64(self):
+        assert make_profile("llvm", "-O2", "aarch64").lse
+        assert not make_profile("llvm", "-O2", "riscv64").lse
+
+    def test_arch_extensions_gated_to_aarch64(self):
+        profile = make_profile("llvm", "-O2", "x86_64", rcpc=True, v84=True)
+        assert not profile.rcpc and not profile.v84
+
+    def test_with_without_bugs(self):
+        profile = make_profile("llvm", "-O2", "aarch64", version=17)
+        buggy = profile.with_bugs(bugs.RMW_ST_FORM)
+        assert buggy.has_bug(bugs.RMW_ST_FORM)
+        assert not buggy.without_bugs(bugs.RMW_ST_FORM).has_bug(bugs.RMW_ST_FORM)
+
+    def test_default_profiles_cover_campaign_levels(self):
+        profiles = default_profiles("aarch64")
+        names = {p.name for p in profiles}
+        assert "llvm-O1-AArch64" in names and "gcc-Og-AArch64" in names
+        assert not any(p.opt == "-O0" for p in profiles)
+
+    def test_epoch_bug_assignments(self):
+        """The bug history matrix of DESIGN.md §5."""
+        llvm11 = make_profile("llvm", "-O2", "aarch64", version=11)
+        assert llvm11.has_bug(bugs.RMW_ST_FORM)
+        assert llvm11.has_bug(bugs.XCHG_DROP_READ)
+        assert llvm11.has_bug(bugs.ATOMIC_128_VIA_LOOP)
+
+        llvm16 = make_profile("llvm", "-O2", "aarch64", version=16)
+        assert not llvm16.has_bug(bugs.RMW_ST_FORM)       # fixed
+        assert llvm16.has_bug(bugs.XCHG_DROP_READ)        # reported by paper
+        assert llvm16.has_bug(bugs.LDP_SEQCST_UNORDERED)  # reported by paper
+        assert llvm16.has_bug(bugs.STP_WRONG_ENDIAN)      # reported by paper
+
+        gcc12 = make_profile("gcc", "-O2", "aarch64", version=12)
+        assert not gcc12.has_bug(bugs.RMW_ST_FORM)
+
+        llvm17 = make_profile("llvm", "-O2", "aarch64", version=17)
+        assert not llvm17.bug_flags
+
+    def test_profile_is_frozen(self):
+        profile = make_profile("llvm", "-O2", "aarch64")
+        with pytest.raises(Exception):
+            profile.opt = "-O0"  # type: ignore[misc]
+
+
+class TestBugRegistry:
+    def test_every_bug_described(self):
+        for flag in bugs.ALL_BUGS:
+            text = bugs.describe(flag)
+            assert text and text != flag
+
+    def test_describe_unknown_passthrough(self):
+        assert bugs.describe("not-a-bug") == "not-a-bug"
+
+    def test_paper_references_present(self):
+        assert "68428" in bugs.describe(bugs.XCHG_DROP_READ)
+        assert "62652" in bugs.describe(bugs.LDP_SEQCST_UNORDERED)
+        assert "61431" in bugs.describe(bugs.STP_WRONG_ENDIAN)
+        assert "61770" in bugs.describe(bugs.ATOMIC_128_VIA_LOOP)

@@ -1,0 +1,182 @@
+"""Property-based tests on cross-cutting invariants.
+
+These encode the semantic facts the whole reproduction leans on:
+
+* model strength ordering (SC ⊆ RC11 ⊆ rc11+lb ⊆ c11_simp outcomes);
+* adding fences never adds outcomes (monotonicity);
+* enumeration determinism;
+* the s2l optimiser preserves observable outcomes on random diy tests;
+* every architecture's compiled outcome set contains the SC outcomes
+  (compilation never loses sequential interleavings).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import make_profile
+from repro.core.events import MemoryOrder
+from repro.herd import simulate_asm, simulate_c
+from repro.lang.printer import print_c_litmus
+from repro.tools import (
+    assembly_to_litmus,
+    build_test,
+    compile_and_disassemble,
+    get_shape,
+    prepare,
+)
+from repro.tools.mcompare import StateMapping
+
+SHAPES = ("MP", "LB", "SB", "S", "R", "2+2W")
+ORDERS = ("rlx", "ar", "sc")
+FENCES = (None, MemoryOrder.ACQ, MemoryOrder.REL, MemoryOrder.SC)
+DEPS = ("po", "data", "ctrl2")
+
+test_strategy = st.builds(
+    lambda shape, order, fence, dep: build_test(
+        get_shape(shape), order, fence=fence if dep == "po" else None, dep=dep
+    ),
+    shape=st.sampled_from(SHAPES),
+    order=st.sampled_from(ORDERS),
+    fence=st.sampled_from(FENCES),
+    dep=st.sampled_from(DEPS),
+)
+
+relaxed_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestModelStrength:
+    @relaxed_settings
+    @given(test_strategy)
+    def test_sc_strongest(self, litmus):
+        sc = simulate_c(litmus, "sc").outcomes
+        rc11 = simulate_c(litmus, "rc11").outcomes
+        assert sc <= rc11
+
+    @relaxed_settings
+    @given(test_strategy)
+    def test_rc11_subset_of_rc11_lb(self, litmus):
+        rc11 = simulate_c(litmus, "rc11").outcomes
+        lb = simulate_c(litmus, "rc11+lb").outcomes
+        assert rc11 <= lb
+
+    @relaxed_settings
+    @given(test_strategy)
+    def test_rc11_lb_subset_of_c11_simp(self, litmus):
+        lb = simulate_c(litmus, "rc11+lb").outcomes
+        simp = simulate_c(litmus, "c11_simp").outcomes
+        assert lb <= simp
+
+    @relaxed_settings
+    @given(test_strategy)
+    def test_partialsc_between(self, litmus):
+        rc11 = simulate_c(litmus, "rc11").outcomes
+        partial = simulate_c(litmus, "c11_partialsc").outcomes
+        assert rc11 <= partial
+
+
+class TestFenceMonotonicity:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        shape=st.sampled_from(("MP", "LB", "SB")),
+        order=st.sampled_from(("rlx",)),
+        fence=st.sampled_from((MemoryOrder.ACQ, MemoryOrder.REL, MemoryOrder.SC)),
+        model=st.sampled_from(("rc11", "rc11+lb", "c11_simp")),
+    )
+    def test_fences_only_remove_outcomes(self, shape, order, fence, model):
+        bare = build_test(get_shape(shape), order, fence=None)
+        fenced = build_test(get_shape(shape), order, fence=fence)
+        bare_out = simulate_c(bare, model).outcomes
+        fenced_out = simulate_c(fenced, model).outcomes
+        assert fenced_out <= bare_out
+
+
+class TestDeterminism:
+    @relaxed_settings
+    @given(test_strategy)
+    def test_enumeration_deterministic(self, litmus):
+        first = simulate_c(litmus, "rc11")
+        second = simulate_c(litmus, "rc11")
+        assert first.outcomes == second.outcomes
+        assert first.flags == second.flags
+
+
+class TestCompilationInvariants:
+    def _compiled_outcomes(self, litmus, profile, optimise=True):
+        prepared = prepare(litmus)
+        c2s = compile_and_disassemble(prepared, profile)
+        asm = assembly_to_litmus(c2s.obj, prepared.condition,
+                                 listing=c2s.listing, optimise=optimise)
+        mapping = StateMapping(
+            observables=frozenset(prepared.init)
+            | prepared.condition.observables()
+        )
+        result = simulate_asm(asm)
+        return frozenset(mapping.apply(o) for o in result.outcomes), prepared, mapping
+
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        shape=st.sampled_from(("MP", "LB", "SB")),
+        order=st.sampled_from(("rlx", "sc")),
+        arch=st.sampled_from(("aarch64", "x86_64", "riscv64")),
+        opt=st.sampled_from(("-O1", "-O3")),
+    )
+    def test_compiled_contains_sc_outcomes(self, shape, order, arch, opt):
+        """Compilation may add weak outcomes but never loses the
+        sequentially consistent interleavings."""
+        litmus = build_test(get_shape(shape), order)
+        profile = make_profile("llvm", opt, arch)
+        compiled, prepared, mapping = self._compiled_outcomes(litmus, profile)
+        sc = frozenset(
+            mapping.apply(o) for o in simulate_c(prepared, "sc").outcomes
+        )
+        assert sc <= compiled
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        shape=st.sampled_from(("MP", "LB", "SB")),
+        order=st.sampled_from(("rlx", "sc")),
+        opt=st.sampled_from(("-O0", "-O2")),
+    )
+    def test_s2l_optimisation_sound(self, shape, order, opt):
+        """The §IV-E rewrites never change observable outcomes."""
+        litmus = build_test(get_shape(shape), order)
+        profile = make_profile("llvm", opt, "aarch64")
+        optimised, _, _ = self._compiled_outcomes(litmus, profile, optimise=True)
+        raw, _, _ = self._compiled_outcomes(litmus, profile, optimise=False)
+        assert optimised == raw
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        shape=st.sampled_from(("MP", "SB")),
+        arch=st.sampled_from(("aarch64", "armv7", "ppc64")),
+    )
+    def test_seq_cst_compilation_preserves_sc_exactly(self, shape, arch):
+        """Fully seq_cst tests must compile to exactly the SC outcomes on
+        every architecture (the mappings' correctness anchor)."""
+        litmus = build_test(get_shape(shape), "sc")
+        profile = make_profile("gcc", "-O2", arch)
+        compiled, prepared, mapping = self._compiled_outcomes(litmus, profile)
+        sc = frozenset(
+            mapping.apply(o) for o in simulate_c(prepared, "sc").outcomes
+        )
+        assert compiled == sc
+
+    def test_roundtrip_print_parse_simulate(self):
+        """Printing a generated test and re-parsing preserves outcomes."""
+        from repro.lang.parser import parse_c_litmus
+
+        for shape in ("MP", "LB"):
+            litmus = build_test(get_shape(shape), "rlx")
+            reparsed = parse_c_litmus(print_c_litmus(litmus), litmus.name)
+            assert (
+                simulate_c(litmus, "rc11").outcomes
+                == simulate_c(reparsed, "rc11").outcomes
+            )

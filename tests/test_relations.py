@@ -1,0 +1,185 @@
+"""Unit and property tests for the relation algebra (repro.core.relations)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.relations import Relation
+
+pairs_strategy = st.sets(
+    st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=20
+)
+
+
+def rel(*pairs):
+    return Relation(pairs)
+
+
+class TestConstruction:
+    def test_empty_is_falsy(self):
+        assert not Relation.empty()
+        assert len(Relation.empty()) == 0
+
+    def test_empty_is_singleton(self):
+        assert Relation.empty() is Relation.empty()
+
+    def test_identity(self):
+        assert Relation.identity([1, 2]).pairs == frozenset({(1, 1), (2, 2)})
+
+    def test_cartesian(self):
+        r = Relation.cartesian([1, 2], [3])
+        assert r.pairs == frozenset({(1, 3), (2, 3)})
+
+    def test_from_order_is_transitive(self):
+        r = Relation.from_order([1, 2, 3])
+        assert (1, 3) in r
+        assert len(r) == 3
+
+    def test_from_successive_is_adjacent_only(self):
+        r = Relation.from_successive([1, 2, 3])
+        assert (1, 3) not in r
+        assert len(r) == 2
+
+    def test_duplicate_pairs_collapse(self):
+        assert len(Relation([(1, 2), (1, 2)])) == 1
+
+
+class TestOperators:
+    def test_union(self):
+        assert (rel((1, 2)) | rel((2, 3))).pairs == frozenset({(1, 2), (2, 3)})
+
+    def test_intersection(self):
+        assert (rel((1, 2), (2, 3)) & rel((2, 3))).pairs == frozenset({(2, 3)})
+
+    def test_difference(self):
+        assert (rel((1, 2), (2, 3)) - rel((2, 3))).pairs == frozenset({(1, 2)})
+
+    def test_compose(self):
+        assert rel((1, 2)).compose(rel((2, 3))).pairs == frozenset({(1, 3)})
+
+    def test_compose_no_match(self):
+        assert rel((1, 2)).compose(rel((3, 4))).is_empty()
+
+    def test_seq_chains(self):
+        r = rel((1, 2)).seq(rel((2, 3)), rel((3, 4)))
+        assert r.pairs == frozenset({(1, 4)})
+
+    def test_inverse(self):
+        assert rel((1, 2)).inverse().pairs == frozenset({(2, 1)})
+
+    def test_transitive_closure(self):
+        r = rel((1, 2), (2, 3)).transitive_closure()
+        assert (1, 3) in r
+
+    def test_reflexive_transitive_closure_adds_identity(self):
+        r = rel((1, 2)).reflexive_transitive_closure([1, 2, 3])
+        assert (3, 3) in r and (1, 2) in r and (1, 1) in r
+
+    def test_optional(self):
+        r = rel((1, 2)).optional([1, 2])
+        assert (1, 1) in r and (1, 2) in r
+
+    def test_restrict(self):
+        r = rel((1, 2), (2, 3)).restrict([1, 2])
+        assert r.pairs == frozenset({(1, 2)})
+
+    def test_restrict_domain_range(self):
+        r = rel((1, 2), (2, 3))
+        assert r.restrict_domain([1]).pairs == frozenset({(1, 2)})
+        assert r.restrict_range([3]).pairs == frozenset({(2, 3)})
+
+    def test_domain_codomain_field(self):
+        r = rel((1, 2), (2, 3))
+        assert r.domain() == frozenset({1, 2})
+        assert r.codomain() == frozenset({2, 3})
+        assert r.field() == frozenset({1, 2, 3})
+
+    def test_filter(self):
+        r = rel((1, 2), (2, 1)).filter(lambda a, b: a < b)
+        assert r.pairs == frozenset({(1, 2)})
+
+
+class TestChecks:
+    def test_acyclic_empty(self):
+        assert Relation.empty().is_acyclic()
+
+    def test_acyclic_chain(self):
+        assert rel((1, 2), (2, 3)).is_acyclic()
+
+    def test_cycle_detected(self):
+        assert not rel((1, 2), (2, 1)).is_acyclic()
+
+    def test_self_loop_is_cycle(self):
+        assert not rel((1, 1)).is_acyclic()
+
+    def test_irreflexive(self):
+        assert rel((1, 2)).is_irreflexive()
+        assert not rel((1, 1)).is_irreflexive()
+
+    def test_is_total_over(self):
+        assert rel((1, 2), (1, 3), (2, 3)).is_total_over([1, 2, 3])
+        assert not rel((1, 2)).is_total_over([1, 2, 3])
+
+    def test_topological_order(self):
+        order = rel((1, 2), (2, 3)).topological_order()
+        assert order.index(1) < order.index(2) < order.index(3)
+
+    def test_topological_order_cycle_raises(self):
+        with pytest.raises(ValueError):
+            rel((1, 2), (2, 1)).topological_order()
+
+
+class TestProperties:
+    @given(pairs_strategy)
+    def test_closure_is_idempotent(self, pairs):
+        r = Relation(pairs).transitive_closure()
+        assert r.transitive_closure() == r
+
+    @given(pairs_strategy)
+    def test_closure_contains_original(self, pairs):
+        r = Relation(pairs)
+        assert r.pairs <= r.transitive_closure().pairs
+
+    @given(pairs_strategy)
+    def test_closure_is_transitive(self, pairs):
+        closure = Relation(pairs).transitive_closure()
+        for a, b in closure:
+            for c, d in closure:
+                if b == c:
+                    assert (a, d) in closure
+
+    @given(pairs_strategy, pairs_strategy)
+    def test_union_commutes(self, p1, p2):
+        assert Relation(p1) | Relation(p2) == Relation(p2) | Relation(p1)
+
+    @given(pairs_strategy, pairs_strategy)
+    def test_intersection_subset_of_union(self, p1, p2):
+        r1, r2 = Relation(p1), Relation(p2)
+        assert (r1 & r2).pairs <= (r1 | r2).pairs
+
+    @given(pairs_strategy)
+    def test_double_inverse_is_identity(self, pairs):
+        r = Relation(pairs)
+        assert r.inverse().inverse() == r
+
+    @given(pairs_strategy, pairs_strategy)
+    def test_compose_inverse_antidistributes(self, p1, p2):
+        r1, r2 = Relation(p1), Relation(p2)
+        assert r1.compose(r2).inverse() == r2.inverse().compose(r1.inverse())
+
+    @given(pairs_strategy)
+    def test_acyclic_iff_topological_order_exists(self, pairs):
+        r = Relation(pairs)
+        if r.is_acyclic():
+            order = r.topological_order()
+            position = {n: i for i, n in enumerate(order)}
+            assert all(position[a] < position[b] for a, b in r)
+        else:
+            with pytest.raises(ValueError):
+                r.topological_order()
+
+    @given(pairs_strategy)
+    def test_cycle_implies_closure_reflexive_somewhere(self, pairs):
+        r = Relation(pairs)
+        closure = r.transitive_closure()
+        assert r.is_acyclic() == closure.is_irreflexive()
