@@ -17,7 +17,7 @@ Outcome soundness is asserted for every configuration.
 from benchmarks._report import banner, row
 
 from repro.compiler import make_profile
-from repro.herd import Budget, simulate_asm
+from repro.herd import Budget, exhaustive_stages, simulate_asm
 from repro.papertests import fig11_lb3
 from repro.tools import S2LStats, compile_and_disassemble, prepare
 from repro.tools.s2l import (
@@ -79,7 +79,10 @@ def test_bench_ablation_s2l(benchmark):
         results = {}
         for name, passes in configs.items():
             litmus, stats = _with_passes(c2s, prepared, passes)
-            sim = simulate_asm(litmus, budget=Budget(max_candidates=10_000_000))
+            # brute-force enumeration: this ablation measures how each
+            # s2l rewrite shrinks the *unpruned* candidate space
+            sim = simulate_asm(litmus, budget=Budget(max_candidates=10_000_000),
+                               stages=exhaustive_stages())
             results[name] = (stats.total_removed, sim, event_count(litmus))
         return results
 

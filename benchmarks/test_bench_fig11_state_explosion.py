@@ -2,10 +2,16 @@
 
 Paper claims: the unoptimised compiled three-thread LB test does not
 terminate under herd (one-hour timeout); after T´el´echat's optimisation
-the simulation terminates in milliseconds.  Our analogue: the raw -O0
-compilation (GOT loads + spill traffic) blows the candidate budget, the
-optimised test simulates in milliseconds with a fraction of the
-candidates.
+the simulation terminates in milliseconds.  Our analogue: under
+brute-force enumeration (:func:`exhaustive_stages`, the seed behaviour)
+the raw -O0 compilation (GOT loads + spill traffic) blows the candidate
+budget, while the optimised test simulates in milliseconds with a
+fraction of the candidates.
+
+The staged solver engine attacks the same explosion from the simulator
+side: coherence-violation pruning collapses the raw test's factorial
+coherence space to the handful of orders the models could ever accept —
+strictly fewer candidates at identical outcomes.
 """
 
 import time
@@ -15,7 +21,7 @@ from benchmarks._report import banner, row
 
 from repro.compiler import make_profile
 from repro.core.errors import SimulationTimeout
-from repro.herd import Budget, simulate_asm
+from repro.herd import Budget, exhaustive_stages, simulate_asm
 from repro.papertests import fig11_lb3
 from repro.pipeline import test_compilation
 from repro.tools import S2LStats, assembly_to_litmus, compile_and_disassemble, prepare
@@ -34,9 +40,14 @@ def test_bench_fig11_state_explosion(benchmark):
 
     optimised_result = benchmark(simulate_asm, optimised)
 
+    # the seed/brute-force behaviour: every coherence permutation
     start = time.perf_counter()
-    raw_result = simulate_asm(raw, budget=Budget(max_candidates=5_000_000))
+    raw_result = simulate_asm(raw, budget=Budget(max_candidates=5_000_000),
+                              stages=exhaustive_stages())
     raw_seconds = time.perf_counter() - start
+
+    # the staged solver on the same raw test: coherence pruning
+    staged_result = simulate_asm(raw, budget=Budget(max_candidates=5_000_000))
 
     banner("Fig. 11 / Claim 5: state explosion vs s2l optimisation")
     raw_loc = sum(len(t.instructions) for t in raw.threads)
@@ -52,10 +63,21 @@ def test_bench_fig11_state_explosion(benchmark):
     row("optimised simulation", "milliseconds",
         f"{optimised_result.stats.elapsed_seconds*1000:.1f} ms "
         f"({speedup:.0f}x faster)")
+    row("staged solver on raw", "same outcomes, pruned",
+        f"{staged_result.stats.candidates} candidates "
+        f"({staged_result.stats.total_pruned} pruned, "
+        f"{staged_result.stats.elapsed_seconds*1000:.1f} ms)")
 
     assert raw_result.stats.candidates > 20 * optimised_result.stats.candidates
     assert optimised_result.stats.elapsed_seconds < 0.5
 
-    # the herd-timeout analogue: a tight budget kills the raw simulation
+    # the staged engine kills the explosion at identical outcome sets
+    assert staged_result.stats.candidates < raw_result.stats.candidates
+    assert staged_result.stats.total_pruned > 0
+    assert staged_result.outcomes == raw_result.outcomes
+
+    # the herd-timeout analogue: a tight budget kills the brute-force
+    # simulation of the raw test
     with pytest.raises(SimulationTimeout):
-        simulate_asm(raw, budget=Budget(max_candidates=400))
+        simulate_asm(raw, budget=Budget(max_candidates=400),
+                     stages=exhaustive_stages())

@@ -18,7 +18,7 @@ Run:  python examples/regression_campaign.py
 from repro.compiler import make_profile
 from repro.core.events import MemoryOrder
 from repro.pipeline import test_compilation
-from repro.pipeline.campaign import run_campaign
+from repro.pipeline.campaign import ResultCache, SourceSimCache, run_campaign
 from repro.tools.diy import DiyConfig, generate
 
 
@@ -31,14 +31,24 @@ def nightly_campaign() -> None:
         deps=("po", "data", "ctrl2"),
         variants=("load-store",),
     )
+    # one shared cache pair for the whole nightly run: each test's
+    # source side is simulated once per source model, and a re-run of an
+    # unchanged cell is free
+    source_cache, result_cache = SourceSimCache(), ResultCache()
     report = run_campaign(
         config=config,
         arches=("aarch64", "armv7", "riscv64", "ppc64", "x86_64", "mips64"),
         opts=("-O1", "-O2"),
         compilers=("llvm", "gcc"),
         source_model="rc11",
+        workers=4,
+        source_cache=source_cache,
+        result_cache=result_cache,
     )
     print(report.table())
+    print(f"\nsource simulations: {report.source_simulations} "
+          f"for {report.compiled_tests} cells "
+          f"({report.workers} workers)")
     print("\npositives drill-down (first 8):")
     for test, arch, opt, compiler in report.positives[:8]:
         print(f"  {test:12s} {compiler}{opt} -> {arch}")
@@ -49,6 +59,9 @@ def nightly_campaign() -> None:
         opts=("-O1", "-O2"),
         compilers=("llvm", "gcc"),
         source_model="rc11+lb",
+        workers=4,
+        source_cache=source_cache,
+        result_cache=result_cache,
     )
     print(f"  positive differences: {relaxed.total_positive()} "
           "(all vanish — artefact Claim 4)")

@@ -14,7 +14,7 @@ import time
 
 from repro.asm import total_instructions
 from repro.compiler import make_profile
-from repro.herd import Budget, simulate_asm
+from repro.herd import Budget, exhaustive_stages, simulate_asm
 from repro.core.errors import SimulationTimeout
 from repro.papertests import fig11_lb3
 from repro.tools import (
@@ -25,9 +25,9 @@ from repro.tools import (
 )
 
 
-def simulate(litmus, budget=None):
+def simulate(litmus, budget=None, stages=None):
     start = time.perf_counter()
-    result = simulate_asm(litmus, budget=budget)
+    result = simulate_asm(litmus, budget=budget, stages=stages)
     return result, time.perf_counter() - start
 
 
@@ -59,18 +59,29 @@ def main() -> None:
     print(f"  {opt_result.stats.candidates} candidates, "
           f"{len(opt_result.outcomes)} outcomes, {opt_seconds*1000:.1f} ms")
 
-    print("\nsimulating the RAW test (herd's one-hour-timeout analogue: "
-          "a 400-candidate budget)...")
+    print("\nsimulating the RAW test brute-force (herd's one-hour-timeout "
+          "analogue: a 400-candidate budget)...")
     try:
-        simulate(raw, budget=Budget(max_candidates=400))
+        simulate(raw, budget=Budget(max_candidates=400),
+                 stages=exhaustive_stages())
     except SimulationTimeout as exc:
         print(f"  TIMEOUT after {exc.candidates_explored} candidates — "
               "the paper's non-terminating unoptimised.litmus")
 
-    print("\nsimulating the RAW test to completion (no budget)...")
-    raw_result, raw_seconds = simulate(raw, budget=Budget(max_candidates=10_000_000))
+    print("\nsimulating the RAW test brute-force to completion (no budget)...")
+    raw_result, raw_seconds = simulate(raw, budget=Budget(max_candidates=10_000_000),
+                                       stages=exhaustive_stages())
     print(f"  {raw_result.stats.candidates} candidates, {raw_seconds*1000:.0f} ms "
           f"({raw_seconds/max(opt_seconds, 1e-9):.0f}x slower)")
+
+    print("\nsimulating the RAW test with the staged solver "
+          "(coherence pruning on)...")
+    staged_result, staged_seconds = simulate(raw)
+    print(f"  {staged_result.stats.candidates} candidates "
+          f"({staged_result.stats.total_pruned} pruned: "
+          f"{staged_result.stats.rf_sources_pruned} rf sources, "
+          f"{staged_result.stats.pruned_co_prefixes} co prefixes), "
+          f"{staged_seconds*1000:.1f} ms")
 
     observables = sorted(prepared.init)
     raw_set = {o.project(observables) for o in raw_result.outcomes}

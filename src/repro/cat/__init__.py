@@ -1,15 +1,29 @@
 """The mini Cat model-specification language and shipped memory models."""
 
-from .interp import CatEnv, CheckResult, Model, ModelResult
+from .interp import (
+    DYNAMIC_BASE_NAMES,
+    CatEnv,
+    CheckResult,
+    CompiledModel,
+    Model,
+    ModelResult,
+    StaticPrefix,
+)
 from .parser import parse
 from .registry import arch_model, get_model, get_source, list_models
-from .stdlib import build_env
+from .stdlib import StaticEnv, build_env, build_static_env, dynamic_bindings
 
 __all__ = [
+    "DYNAMIC_BASE_NAMES",
     "CatEnv",
     "CheckResult",
+    "CompiledModel",
     "Model",
     "ModelResult",
+    "StaticPrefix",
+    "StaticEnv",
+    "build_static_env",
+    "dynamic_bindings",
     "parse",
     "arch_model",
     "get_model",

@@ -11,12 +11,19 @@ compiler bug — paper §IV-D).
 Values are either :class:`~repro.core.relations.Relation` or event sets
 (``frozenset[int]``); sets are coerced to identity relations where a
 relation is required, exactly as in herd's cat.
+
+For the staged solver, :meth:`Model.compile` splits a model into a
+*static prefix* — statements whose free names are derivable from the
+event structure and po/rmw/dependency relations alone — and a *dynamic
+suffix* of rf/co-dependent statements.  The prefix is evaluated once per
+path combination (see :class:`CompiledModel`); only the suffix runs per
+candidate execution.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from ..core.errors import ModelError
 from ..core.relations import Relation
@@ -40,6 +47,22 @@ from .ast import (
 from .parser import parse
 
 Value = Union[Relation, FrozenSet[int]]
+
+#: Base bindings that change per candidate execution (rf/co and their
+#: derivatives).  Everything else in the standard environment is fixed
+#: once the path combination (events, po, rmw, deps) is fixed.
+DYNAMIC_BASE_NAMES: Tuple[str, ...] = (
+    "rf",
+    "co",
+    "fr",
+    "com",
+    "rfe",
+    "rfi",
+    "coe",
+    "coi",
+    "fre",
+    "fri",
+)
 
 
 @dataclass
@@ -96,17 +119,45 @@ def _as_set(value: Value) -> FrozenSet[int]:
     raise ModelError("expected an event set, got a relation")
 
 
+def _free_names(expr: CatExpr) -> FrozenSet[str]:
+    """The set of names an expression reads."""
+    if isinstance(expr, Name):
+        return frozenset({expr.ident})
+    if isinstance(expr, (EmptySet, Universe)):
+        return frozenset()
+    if isinstance(expr, Bracket):
+        return _free_names(expr.inner)
+    if isinstance(expr, Binary):
+        return _free_names(expr.left) | _free_names(expr.right)
+    if isinstance(expr, (Postfix, Complement)):
+        return _free_names(expr.inner)
+    if isinstance(expr, Call):
+        names: Set[str] = set()
+        for arg in expr.args:
+            names |= _free_names(arg)
+        return frozenset(names)
+    return frozenset()  # pragma: no cover - defensive
+
+
 class Model:
-    """A compiled Cat model ready for evaluation."""
+    """A parsed Cat model ready for evaluation."""
 
     def __init__(self, ast: CatModel, name: Optional[str] = None) -> None:
         self.ast = ast
         self.name = name or ast.name or "anonymous"
+        self._compiled: Optional["CompiledModel"] = None
 
     # ------------------------------------------------------------------ #
     @staticmethod
     def from_source(source: str, name: Optional[str] = None) -> "Model":
         return Model(parse(source), name=name)
+
+    # ------------------------------------------------------------------ #
+    def compile(self) -> "CompiledModel":
+        """Split into a static prefix and a dynamic suffix (cached)."""
+        if self._compiled is None:
+            self._compiled = CompiledModel(self)
+        return self._compiled
 
     # ------------------------------------------------------------------ #
     def evaluate(self, env: CatEnv) -> ModelResult:
@@ -265,3 +316,115 @@ class Model:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Model({self.name!r})"
+
+
+@dataclass
+class StaticPrefix:
+    """The result of running a model's static statements once.
+
+    ``env`` carries the static bindings (base env plus every let-bound
+    name the prefix produced); ``checks``/``flags`` are the outcomes of
+    the static checks.  The prefix is immutable from the caller's point
+    of view: :meth:`CompiledModel.run_dynamic` copies the bindings before
+    the suffix executes.
+    """
+
+    env: CatEnv
+    checks: Tuple[CheckResult, ...]
+    flags: Tuple[str, ...]
+
+    @property
+    def allowed(self) -> bool:
+        """False iff a static (non-flag) check already failed — in that
+        case no candidate of the path combination can be allowed."""
+        return all(c.passed for c in self.checks if not c.flag)
+
+
+class CompiledModel:
+    """A model split into a static prefix and a dynamic suffix.
+
+    Classification walks the statements in order, tracking which names
+    are *dynamic* (seeded with :data:`DYNAMIC_BASE_NAMES`): a ``let``
+    whose right-hand side touches a dynamic name binds a dynamic name;
+    checks over dynamic names go to the suffix.  Rebinding an existing
+    name after a dynamic statement has been emitted is conservatively
+    treated as dynamic, preserving statement order for shadowing models.
+    """
+
+    def __init__(self, model: Model) -> None:
+        self.model = model
+        self.name = model.name
+        self.static_statements: List[CatStmt] = []
+        self.dynamic_statements: List[CatStmt] = []
+        dynamic: Set[str] = set(DYNAMIC_BASE_NAMES)
+        bound: Set[str] = set()
+        suffix_started = False
+        for stmt in model.ast.statements:
+            if isinstance(stmt, Let):
+                names = {name for name, _ in stmt.bindings}
+                free: Set[str] = set()
+                for _, expr in stmt.bindings:
+                    free |= _free_names(expr)
+                if stmt.recursive:
+                    free -= names
+                is_dynamic = (
+                    bool(free & dynamic)
+                    # rebinding a base dynamic name, or rebinding any
+                    # name once the suffix has started, must stay in
+                    # statement order with the dynamic statements
+                    or bool(names & set(DYNAMIC_BASE_NAMES))
+                    or (suffix_started and bool(names & bound))
+                )
+                if is_dynamic:
+                    dynamic |= names
+                    suffix_started = True
+                    self.dynamic_statements.append(stmt)
+                else:
+                    dynamic -= names
+                    self.static_statements.append(stmt)
+                bound |= names
+            elif isinstance(stmt, Check):
+                if _free_names(stmt.expr) & dynamic:
+                    suffix_started = True
+                    self.dynamic_statements.append(stmt)
+                else:
+                    self.static_statements.append(stmt)
+            else:  # Show / Include: presentation-only
+                self.static_statements.append(stmt)
+
+    # ------------------------------------------------------------------ #
+    def run_static(self, env: CatEnv) -> StaticPrefix:
+        """Evaluate the static prefix over a (rf/co-free) environment."""
+        env = env.child()
+        checks: List[CheckResult] = []
+        flags: List[str] = []
+        for stmt in self.static_statements:
+            self.model._exec_stmt(stmt, env, checks, flags)
+        return StaticPrefix(env=env, checks=tuple(checks), flags=tuple(flags))
+
+    def run_dynamic(
+        self, prefix: StaticPrefix, bindings: Dict[str, Value]
+    ) -> ModelResult:
+        """Evaluate the dynamic suffix for one candidate execution.
+
+        ``bindings`` supplies the per-candidate base relations (see
+        :data:`DYNAMIC_BASE_NAMES`); static check results are merged into
+        the returned :class:`ModelResult`.
+        """
+        env = CatEnv(
+            dict(prefix.env.bindings), prefix.env.universe, prefix.env.po
+        )
+        env.bindings.update(bindings)
+        checks: List[CheckResult] = list(prefix.checks)
+        flags: List[str] = list(prefix.flags)
+        for stmt in self.dynamic_statements:
+            self.model._exec_stmt(stmt, env, checks, flags)
+        allowed = all(c.passed for c in checks if not c.flag)
+        return ModelResult(allowed=allowed, checks=tuple(checks), flags=tuple(flags))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompiledModel({self.name!r}, "
+            f"static={len(self.static_statements)}, "
+            f"dynamic={len(self.dynamic_statements)})"
+        )

@@ -6,6 +6,18 @@ C11 order sets, architecture tag sets) and base relations (``po``, ``rf``,
 ``co``, ``fr``, dependency relations, ``loc``, ``int``/``ext``…) under the
 names the shipped models use.
 
+The environment is built in two stages, mirroring the staged solver:
+
+* :func:`build_static_env` derives everything that depends only on the
+  event structure and the po/rmw/dependency relations — fixed for a
+  whole path combination, so it is computed **once** per combination;
+* :func:`dynamic_bindings` adds the rf/co-derived relations that change
+  per candidate (``rf``, ``co``, ``fr``, ``com`` and the internal/
+  external splits).
+
+:func:`build_env` composes both for callers that hold one finished
+execution.
+
 Tag sets (``A``, ``Q``, ``L``, ``X``, ``DMB.SY`` …) default to the empty
 set when the execution contains no such event, so one model text works for
 every front-end.
@@ -13,9 +25,10 @@ every front-end.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Sequence
 
-from ..core.events import INIT_TID, MemoryOrder
+from ..core.events import Event, MemoryOrder
 from ..core.execution import Execution
 from ..core.relations import Relation
 from .interp import CatEnv, Value
@@ -63,18 +76,64 @@ KNOWN_TAG_SETS = (
 )
 
 
-def build_env(execution: Execution) -> CatEnv:
-    """Construct the Cat evaluation environment for ``execution``."""
-    universe = frozenset(execution.ids())
-    reads = execution.reads()
-    writes = execution.writes()
-    fences = execution.fences()
-    accesses = execution.accesses()
-    init_writes = frozenset(e.eid for e in execution.events if e.is_init)
+@dataclass
+class StaticEnv:
+    """The per-path-combination half of the Cat environment.
+
+    ``env`` holds every binding derivable before rf/co are chosen;
+    ``internal``/``external`` are kept so the dynamic stage can derive
+    ``rfe``/``rfi``/``coe``… by intersection instead of recomputing the
+    O(n²) thread-split relations per candidate.
+    """
+
+    env: CatEnv
+    internal: Relation
+    external: Relation
+
+
+def build_static_env(
+    events: Sequence[Event],
+    po: Relation,
+    rmw: Relation = Relation.empty(),
+    addr: Relation = Relation.empty(),
+    data: Relation = Relation.empty(),
+    ctrl: Relation = Relation.empty(),
+) -> StaticEnv:
+    """Construct the rf/co-independent bindings for one event structure."""
+    universe = frozenset(e.eid for e in events)
+    reads = frozenset(e.eid for e in events if e.is_read)
+    writes = frozenset(e.eid for e in events if e.is_write)
+    fences = frozenset(e.eid for e in events if e.is_fence)
+    accesses = frozenset(e.eid for e in events if e.is_access)
+    init_writes = frozenset(e.eid for e in events if e.is_init)
 
     def order_set(*orders: MemoryOrder) -> FrozenSet[int]:
         wanted = set(orders)
-        return frozenset(e.eid for e in execution.events if e.order in wanted)
+        return frozenset(e.eid for e in events if e.order in wanted)
+
+    # same-location, internal and external splits (static: they depend
+    # only on event structure, not on rf/co)
+    by_loc: Dict[str, list] = {}
+    for e in events:
+        if e.is_access and e.loc is not None:
+            by_loc.setdefault(e.loc, []).append(e.eid)
+    loc_pairs = [
+        (a, b) for ids in by_loc.values() for a in ids for b in ids if a != b
+    ]
+    int_pairs = []
+    ext_pairs = []
+    for a in events:
+        for b in events:
+            if a.eid == b.eid:
+                continue
+            if a.tid == b.tid:
+                if not a.is_init:
+                    int_pairs.append((a.eid, b.eid))
+            else:
+                ext_pairs.append((a.eid, b.eid))
+    loc = Relation(loc_pairs)
+    internal = Relation(int_pairs)
+    external = Relation(ext_pairs)
 
     bindings: Dict[str, Value] = {
         # base sets --------------------------------------------------- #
@@ -82,7 +141,7 @@ def build_env(execution: Execution) -> CatEnv:
         "W": writes,
         "M": accesses,
         "F": fences,
-        "B": frozenset(e.eid for e in execution.events if e.is_branch),
+        "B": frozenset(e.eid for e in events if e.is_branch),
         "IW": init_writes,
         "id": Relation.identity(universe),
         # C11 order sets ----------------------------------------------- #
@@ -93,42 +152,75 @@ def build_env(execution: Execution) -> CatEnv:
         "ACQ_REL": order_set(MemoryOrder.ACQ_REL),
         "CON": order_set(MemoryOrder.CON),
         "RLX": frozenset(
-            e.eid for e in execution.events if e.order.is_atomic
+            e.eid for e in events if e.order.is_atomic
         ),  # "at least relaxed" = every atomic event
         "NA": frozenset(
             e.eid
-            for e in execution.events
+            for e in events
             if e.is_access and not e.order.is_atomic and not e.is_init
         ),
-        "ATOMIC": frozenset(
-            e.eid for e in execution.events if e.order.is_atomic
-        ),
-        # base relations ---------------------------------------------- #
-        "po": execution.po,
-        "rf": execution.rf,
-        "co": execution.co,
-        "fr": execution.fr,
-        "rmw": execution.rmw,
-        "addr": execution.addr,
-        "data": execution.data,
-        "ctrl": execution.ctrl,
-        "deps": execution.addr | execution.data | execution.ctrl,
-        "loc": execution.same_location(),
-        "int": execution.internal(),
-        "ext": execution.external(),
-        "po-loc": execution.po_loc(),
-        "com": execution.com(),
-        "rfe": execution.rfe(),
-        "rfi": execution.rfi(),
-        "coe": execution.coe(),
-        "coi": execution.coi(),
-        "fre": execution.fre(),
-        "fri": execution.fri(),
+        "ATOMIC": frozenset(e.eid for e in events if e.order.is_atomic),
+        # static base relations ---------------------------------------- #
+        "po": po,
+        "rmw": rmw,
+        "addr": addr,
+        "data": data,
+        "ctrl": ctrl,
+        "deps": addr | data | ctrl,
+        "loc": loc,
+        "int": internal,
+        "ext": external,
+        "po-loc": po & loc,
         # init-before: initial writes precede every other event -------- #
-        "init": Relation.cartesian(
-            init_writes, frozenset(universe) - init_writes
-        ),
+        "init": Relation.cartesian(init_writes, universe - init_writes),
     }
+    tags_present: Dict[str, set] = {}
+    for e in events:
+        for tag in e.tags:
+            tags_present.setdefault(tag, set()).add(e.eid)
     for tag in KNOWN_TAG_SETS:
-        bindings[tag] = execution.tagged(tag)
-    return CatEnv(bindings=bindings, universe=universe, po=execution.po)
+        bindings[tag] = frozenset(tags_present.get(tag, ()))
+    env = CatEnv(bindings=bindings, universe=universe, po=po)
+    return StaticEnv(env=env, internal=internal, external=external)
+
+
+def dynamic_bindings(
+    execution: Execution, static: Optional[StaticEnv] = None
+) -> Dict[str, Value]:
+    """The per-candidate (rf/co-derived) bindings.
+
+    When ``static`` is given its internal/external relations are reused;
+    otherwise they are recomputed from the execution.
+    """
+    internal = static.internal if static is not None else execution.internal()
+    external = static.external if static is not None else execution.external()
+    rf, co, fr = execution.rf, execution.co, execution.fr
+    bindings: Dict[str, Value] = {
+        "rf": rf,
+        "co": co,
+        "fr": fr,
+        "com": rf | co | fr,
+        "rfe": rf & external,
+        "rfi": rf & internal,
+        "coe": co & external,
+        "coi": co & internal,
+        "fre": fr & external,
+        "fri": fr & internal,
+    }
+    # keys must stay in sync with DYNAMIC_BASE_NAMES; asserted in tests
+    return bindings
+
+
+def build_env(execution: Execution) -> CatEnv:
+    """Construct the full Cat evaluation environment for ``execution``."""
+    static = build_static_env(
+        execution.events,
+        execution.po,
+        execution.rmw,
+        execution.addr,
+        execution.data,
+        execution.ctrl,
+    )
+    env = static.env
+    env.bindings.update(dynamic_bindings(execution, static))
+    return env

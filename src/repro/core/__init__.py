@@ -15,7 +15,7 @@ from .litmus import (
     TrueProp,
     conj,
 )
-from .relations import Relation
+from .relations import Relation, RelationBuilder
 from .errors import (
     CompilationError,
     ConstViolation,
@@ -53,6 +53,7 @@ __all__ = [
     "TrueProp",
     "conj",
     "Relation",
+    "RelationBuilder",
     "CompilationError",
     "ConstViolation",
     "MappingError",

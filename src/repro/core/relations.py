@@ -9,11 +9,27 @@ used both by the Cat interpreter and directly by Python-coded models.
 
 Relations are sets of ``(eid, eid)`` pairs.  All operations return new
 relations; nothing mutates.
+
+Two additions support the staged solver engine: :meth:`Relation.extend`
+grows a relation pair-by-pair while reusing the successor index of the
+parent, and :class:`RelationBuilder` is the mutable accumulator the
+enumerator uses to build coherence orders incrementally (with cheap
+reachability queries for cycle pruning) before freezing them.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Set,
+    Tuple,
+)
 
 Pair = Tuple[int, int]
 
@@ -126,6 +142,35 @@ class Relation:
             self._succ_cache.update({k: tuple(v) for k, v in succ.items()})
         return self._succ_cache
 
+    def successors(self) -> Mapping[int, Tuple[int, ...]]:
+        """The adjacency index ``{a: (b, ...)}``, built once and cached.
+
+        Exposed so incremental callers (the enumerator, builders) can
+        reuse the index instead of re-deriving it from the pair set.
+        """
+        return self._successors()
+
+    def extend(self, pairs: Iterable[Pair]) -> "Relation":
+        """A new relation with ``pairs`` added.
+
+        Unlike ``self | Relation(pairs)`` this reuses the already-built
+        successor index of ``self``, so growing a relation pair-by-pair
+        does not re-index the whole set each step.  Returns ``self``
+        unchanged when every pair is already present.
+        """
+        extra = frozenset(pairs) - self._pairs
+        if not extra:
+            return self
+        out = Relation(self._pairs | extra)
+        if self._succ_cache:
+            succ: Dict[int, List[int]] = {
+                k: list(v) for k, v in self._succ_cache.items()
+            }
+            for a, b in extra:
+                succ.setdefault(a, []).append(b)
+            out._succ_cache.update({k: tuple(v) for k, v in succ.items()})
+        return out
+
     def compose(self, other: "Relation") -> "Relation":
         """``self ; other`` — sequential composition."""
         succ = other._successors()
@@ -204,7 +249,9 @@ class Relation:
     def is_acyclic(self) -> bool:
         """True iff the relation (viewed as a digraph) has no cycle.
 
-        Iterative DFS with colouring; self-loops count as cycles.
+        Iterative DFS with colouring over the cached successor index —
+        no transitive closure is materialised, so the check is linear in
+        the number of pairs.  Self-loops count as cycles.
         """
         succ = self._successors()
         WHITE, GREY, BLACK = 0, 1, 2
@@ -264,3 +311,76 @@ class Relation:
 
 
 _EMPTY = Relation()
+
+
+class RelationBuilder:
+    """A mutable accumulator for building a :class:`Relation` incrementally.
+
+    The enumerator grows coherence orders write-by-write; this builder
+    keeps a successor index as pairs arrive so that reachability (and
+    hence would-this-close-a-cycle) queries are cheap, and
+    :meth:`freeze` hands the finished index straight to the resulting
+    immutable relation instead of rebuilding it.
+    """
+
+    __slots__ = ("_pairs", "_succ")
+
+    def __init__(self, pairs: Iterable[Pair] = ()) -> None:
+        self._pairs: Set[Pair] = set()
+        self._succ: Dict[int, List[int]] = {}
+        for a, b in pairs:
+            self.add(a, b)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __contains__(self, pair: Pair) -> bool:
+        return pair in self._pairs
+
+    def add(self, a: int, b: int) -> bool:
+        """Add one pair; returns False if it was already present."""
+        if (a, b) in self._pairs:
+            return False
+        self._pairs.add((a, b))
+        self._succ.setdefault(a, []).append(b)
+        return True
+
+    def add_chain(self, chain: Iterable[int], transitive: bool = True) -> None:
+        """Add a sequence as a (transitive or successive) order."""
+        items = list(chain)
+        if transitive:
+            for i in range(len(items)):
+                for j in range(i + 1, len(items)):
+                    self.add(items[i], items[j])
+        else:
+            for a, b in zip(items, items[1:]):
+                self.add(a, b)
+
+    def has_path(self, src: int, dst: int) -> bool:
+        """True iff ``dst`` is reachable from ``src`` along added pairs."""
+        if src == dst:
+            return True
+        seen = {src}
+        stack = [src]
+        while stack:
+            node = stack.pop()
+            for child in self._succ.get(node, ()):
+                if child == dst:
+                    return True
+                if child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        return False
+
+    def would_close_cycle(self, a: int, b: int) -> bool:
+        """True iff adding ``(a, b)`` would create a cycle (or self-loop)."""
+        return a == b or self.has_path(b, a)
+
+    def freeze(self) -> Relation:
+        """The immutable relation, donating the successor index."""
+        out = Relation(self._pairs)
+        if self._pairs:
+            out._succ_cache.update(
+                {k: tuple(v) for k, v in self._succ.items()}
+            )
+        return out

@@ -1,17 +1,38 @@
 """The herd-style axiomatic simulator."""
 
 from .dot import execution_to_dot, simulation_to_dot
-from .enumerate import Budget, Candidate, EnumerationStats, enumerate_candidates
+from .enumerate import (
+    BasicRfStage,
+    Budget,
+    Candidate,
+    CoherenceStage,
+    EnumerationStats,
+    ExecutionEnumerator,
+    PathCombo,
+    PathConstraintStage,
+    PruneStage,
+    default_stages,
+    enumerate_candidates,
+    exhaustive_stages,
+)
 from .simulator import SimulationResult, run_programs, simulate_asm, simulate_c
 from .templates import EventTemplate, PathConstraint, ThreadPath, ThreadProgram
 
 __all__ = [
     "execution_to_dot",
     "simulation_to_dot",
+    "BasicRfStage",
     "Budget",
     "Candidate",
+    "CoherenceStage",
     "EnumerationStats",
+    "ExecutionEnumerator",
+    "PathCombo",
+    "PathConstraintStage",
+    "PruneStage",
+    "default_stages",
     "enumerate_candidates",
+    "exhaustive_stages",
     "SimulationResult",
     "run_programs",
     "simulate_asm",

@@ -1,20 +1,32 @@
 """Candidate-execution enumeration (the core of the herd-style simulator).
 
-Given per-thread path sets, the enumerator generates every candidate
-execution of a litmus test:
+Given per-thread path sets, the :class:`ExecutionEnumerator` generates
+every candidate execution of a litmus test in stages:
 
-1. choose one control-flow path per thread,
-2. instantiate event templates with global ids; build ``po``, ``rmw`` and
-   dependency relations,
-3. choose an rf source for every read (init write, any other-thread write
-   to the same location, or a po-earlier same-thread write),
-4. solve values by evaluating along ``data-dependency ∪ rf``; reject
+1. choose one control-flow path per thread and instantiate event
+   templates with global ids (a :class:`PathCombo`); build ``po``,
+   ``rmw`` and dependency relations,
+2. choose an rf source for every read (init write, any other-thread
+   write to the same location, or the po-latest same-thread write) —
+   sources that can only produce coherence violations are filtered out
+   up front by the pruning stages,
+3. solve values by evaluating along ``data-dependency ∪ rf``; reject
    cyclic candidates (out-of-thin-air, forbidden by every shipped model)
    and rf choices inconsistent with the chosen branch conditions,
-5. choose a coherence order: all interleavings of the writes per location
-   (init first) — the factorial factor behind the paper's §IV-E state
-   explosion,
-6. yield the resulting :class:`~repro.core.execution.Execution`.
+4. derive the coherence constraints the rf choice and program order
+   impose (the CoWW/CoWR/CoRW/CoRR shapes every shipped model forbids)
+   and build coherence orders incrementally, write-by-write: a prefix
+   that violates a constraint is abandoned before its factorial tail is
+   expanded — the paper's §IV-E state explosion, pruned at the root,
+5. yield the resulting :class:`~repro.core.execution.Execution`.
+
+Pruning is *pluggable*: each :class:`PruneStage` contributes rf-source
+filters, whole-assignment rejections and coherence-precedence edges, and
+every stage's work is tallied in :class:`EnumerationStats`.  The pruning
+performed by the default stages is sound for every registered model —
+all of them reject coherence violations (``acyclic po-loc | com`` or the
+RC11 ``irreflexive hb; eco?`` axiom), so the surviving outcome sets are
+identical to exhaustive enumeration.
 
 The ``Budget`` guards against the state explosion the paper describes:
 exceeding it raises :class:`~repro.core.errors.SimulationTimeout`.
@@ -25,13 +37,24 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..core.errors import SimulationTimeout
 from ..core.events import INIT_TID, Event, EventKind, MemoryOrder
 from ..core.execution import Execution
 from ..core.expr import Expr
-from ..core.relations import Relation
+from ..core.relations import Pair, Relation, RelationBuilder
 from .templates import EventTemplate, PathConstraint, ThreadPath, ThreadProgram, rename_reads
 
 
@@ -39,15 +62,20 @@ from .templates import EventTemplate, PathConstraint, ThreadPath, ThreadProgram,
 class Budget:
     """Bounds on enumeration work.
 
-    ``max_candidates`` caps the number of (rf × co) candidates considered;
-    ``deadline_seconds`` caps wall-clock time.  Either limit raises
+    ``max_candidates`` caps the number of work units (candidates plus
+    pruned/rejected partial candidates) considered; ``deadline_seconds``
+    caps wall-clock time.  Either limit raises
     :class:`SimulationTimeout` — the analogue of herd's one-hour timeout
     on the paper's Fig. 11 test.
+
+    The deadline is measured from the first use (or the last
+    :meth:`reset`), never from construction, so a Budget built early —
+    e.g. at campaign setup — is not born expired.
     """
 
     max_candidates: int = 2_000_000
     deadline_seconds: Optional[float] = None
-    _start: float = field(default_factory=time.perf_counter)
+    _start: Optional[float] = field(default=None, repr=False)
 
     def reset(self) -> None:
         self._start = time.perf_counter()
@@ -58,26 +86,62 @@ class Budget:
                 f"exceeded candidate budget ({self.max_candidates})",
                 candidates_explored=candidates,
             )
-        if (
-            self.deadline_seconds is not None
-            and time.perf_counter() - self._start > self.deadline_seconds
-        ):
-            raise SimulationTimeout(
-                f"exceeded deadline ({self.deadline_seconds}s)",
-                candidates_explored=candidates,
-            )
+        if self.deadline_seconds is not None:
+            if self._start is None:
+                self._start = time.perf_counter()
+            if time.perf_counter() - self._start > self.deadline_seconds:
+                raise SimulationTimeout(
+                    f"exceeded deadline ({self.deadline_seconds}s)",
+                    candidates_explored=candidates,
+                )
 
 
 @dataclass
 class EnumerationStats:
-    """Counters describing one enumeration run."""
+    """Counters describing one enumeration run.
+
+    The ``rejected_*``/``pruned_*`` fields are per-stage prune counters:
+    how much of the candidate space each stage of the solver discarded
+    before a full candidate was materialised.
+    """
 
     path_combinations: int = 0
     rf_assignments: int = 0
     candidates: int = 0
     rejected_value_cycle: int = 0
     rejected_constraint: int = 0
+    #: rf source options removed up front (each kills a whole subtree of
+    #: the rf assignment product)
+    rf_sources_pruned: int = 0
+    #: whole rf assignments whose coherence constraints are unsatisfiable
+    rejected_rf_coherence: int = 0
+    #: coherence-order prefixes abandoned before their factorial tail
+    pruned_co_prefixes: int = 0
     elapsed_seconds: float = 0.0
+
+    @property
+    def total_pruned(self) -> int:
+        return (
+            self.rejected_value_cycle
+            + self.rejected_constraint
+            + self.rf_sources_pruned
+            + self.rejected_rf_coherence
+            + self.pruned_co_prefixes
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "path_combinations": self.path_combinations,
+            "rf_assignments": self.rf_assignments,
+            "candidates": self.candidates,
+            "rejected_value_cycle": self.rejected_value_cycle,
+            "rejected_constraint": self.rejected_constraint,
+            "rf_sources_pruned": self.rf_sources_pruned,
+            "rejected_rf_coherence": self.rejected_rf_coherence,
+            "pruned_co_prefixes": self.pruned_co_prefixes,
+            "total_pruned": self.total_pruned,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
 
 
 @dataclass(frozen=True)
@@ -95,21 +159,222 @@ class _ValueCycle(Exception):
     pass
 
 
+@dataclass
+class PathCombo:
+    """One path-per-thread choice with everything derivable before rf.
+
+    All of this is *static* per combination: the events (ids, kinds,
+    locations — values still unsolved), the po/rmw/dependency relations,
+    and the indexes the pruning stages consult.  The Cat static prefix
+    (see :mod:`repro.cat.interp`) is evaluated once per PathCombo.
+    """
+
+    events: List[Event]
+    templates: Dict[int, EventTemplate]
+    po: Relation
+    rmw: Relation
+    addr: Relation
+    data: Relation
+    ctrl: Relation
+    finals: List[Tuple[str, Expr]]
+    constraints: List[PathConstraint]
+    write_exprs: Dict[int, Expr]
+    #: per-read feasible rf sources (after stage filtering)
+    rf_candidates: Dict[int, List[int]] = field(default_factory=dict)
+    read_ids: List[int] = field(default_factory=list)
+    #: non-init writes per location, in eid order
+    writes_by_loc: Dict[str, List[int]] = field(default_factory=dict)
+    init_write: Dict[str, int] = field(default_factory=dict)
+    init_ids: FrozenSet[int] = frozenset()
+    #: read -> same-thread po-earlier writes to the read's location
+    writes_before: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    #: read -> same-thread po-later writes to the read's location
+    writes_after: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    #: same-thread same-location po-ordered read pairs (for CoRR)
+    read_pairs: Tuple[Tuple[int, int], ...] = ()
+    #: per-location CoWW edges forced by program order alone
+    base_co_edges: Dict[str, List[Pair]] = field(default_factory=dict)
+
+    @property
+    def choice_lists(self) -> List[List[int]]:
+        return [self.rf_candidates[r] for r in self.read_ids]
+
+    def feasible(self) -> bool:
+        return all(self.rf_candidates[r] for r in self.read_ids)
+
+
+# --------------------------------------------------------------------- #
+# pruning stages
+# --------------------------------------------------------------------- #
+class PruneStage:
+    """A pluggable pruning stage of the enumerator.
+
+    Stages see three hook points, called in stage order:
+
+    * :meth:`filter_rf_sources` — drop rf sources a read can never take
+      (runs once per :class:`PathCombo`; each dropped source kills the
+      whole subtree of rf assignments containing it);
+    * :meth:`reject_assignment` — veto a solved rf assignment;
+    * :meth:`co_precedence` — emit ``(earlier, later)`` coherence
+      constraints between same-location writes, used to prune coherence
+      prefixes write-by-write.
+
+    The base class is a no-op on all three.
+    """
+
+    name = "prune"
+
+    def filter_rf_sources(
+        self,
+        combo: PathCombo,
+        read: int,
+        sources: List[int],
+        stats: EnumerationStats,
+    ) -> List[int]:
+        return sources
+
+    def reject_assignment(
+        self,
+        combo: PathCombo,
+        rf_map: Mapping[int, int],
+        values: Mapping[int, int],
+        stats: EnumerationStats,
+    ) -> bool:
+        return False
+
+    def co_precedence(
+        self, combo: PathCombo, rf_map: Mapping[int, int]
+    ) -> Iterable[Pair]:
+        return ()
+
+
+class BasicRfStage(PruneStage):
+    """The seed enumerator's only filter: a read never takes a po-later
+    same-thread write (always a coherence violation).  Used by
+    :func:`exhaustive_stages` to reproduce brute-force enumeration."""
+
+    name = "rf-po"
+
+    def filter_rf_sources(
+        self,
+        combo: PathCombo,
+        read: int,
+        sources: List[int],
+        stats: EnumerationStats,
+    ) -> List[int]:
+        po_pairs = combo.po.pairs
+        kept: List[int] = []
+        for w in sources:
+            if (read, w) in po_pairs:
+                stats.rf_sources_pruned += 1
+                continue
+            kept.append(w)
+        return kept
+
+
+class CoherenceStage(PruneStage):
+    """Prunes rf choices and coherence prefixes using the per-location
+    coherence shapes (CoWW/CoWR/CoRW/CoRR) that every shipped model
+    forbids — the rf/po-derived constraints of the staged solver."""
+
+    name = "coherence"
+
+    def filter_rf_sources(
+        self,
+        combo: PathCombo,
+        read: int,
+        sources: List[int],
+        stats: EnumerationStats,
+    ) -> List[int]:
+        prior = combo.writes_before.get(read, ())
+        po_pairs = combo.po.pairs
+        kept: List[int] = []
+        for w in sources:
+            # reading a po-later same-thread write is a po-loc ∪ rf cycle
+            if (read, w) in po_pairs:
+                stats.rf_sources_pruned += 1
+                continue
+            # with a same-thread write w' before the read, anything
+            # necessarily co-before w' is invisible: the init write, and
+            # every same-thread write other than the po-latest (CoWW
+            # forces their coherence order)
+            if prior:
+                if w in combo.init_ids:
+                    stats.rf_sources_pruned += 1
+                    continue
+                if w in prior and w != prior[-1]:
+                    stats.rf_sources_pruned += 1
+                    continue
+            kept.append(w)
+        return kept
+
+    def co_precedence(
+        self, combo: PathCombo, rf_map: Mapping[int, int]
+    ) -> Iterable[Pair]:
+        edges: List[Pair] = []
+        # CoWW: program order between same-thread same-location writes
+        # is coherence order
+        for loc_edges in combo.base_co_edges.values():
+            edges.extend(loc_edges)
+        for r, w in rf_map.items():
+            # CoWR: same-thread writes before the read are co-before
+            # its rf source
+            for w_prior in combo.writes_before.get(r, ()):
+                if w_prior != w:
+                    edges.append((w_prior, w))
+            # CoRW: the rf source is co-before same-thread writes after
+            # the read
+            for w_later in combo.writes_after.get(r, ()):
+                if w_later != w:
+                    edges.append((w, w_later))
+        # CoRR: po-ordered same-location reads see co-ordered writes
+        for r1, r2 in combo.read_pairs:
+            wa, wb = rf_map[r1], rf_map[r2]
+            if wa != wb:
+                edges.append((wa, wb))
+        return edges
+
+
+class PathConstraintStage(PruneStage):
+    """Rejects rf assignments whose solved values contradict the branch
+    conditions of the chosen control-flow paths."""
+
+    name = "path-constraint"
+
+    def reject_assignment(
+        self,
+        combo: PathCombo,
+        rf_map: Mapping[int, int],
+        values: Mapping[int, int],
+        stats: EnumerationStats,
+    ) -> bool:
+        for constraint in combo.constraints:
+            env = {r: values[r] for r in constraint.expr.reads()}
+            if bool(constraint.expr.eval(env)) != constraint.expected:
+                stats.rejected_constraint += 1
+                return True
+        return False
+
+
+def default_stages() -> Tuple[PruneStage, ...]:
+    """The staged solver's default pruning pipeline."""
+    return (CoherenceStage(), PathConstraintStage())
+
+
+def exhaustive_stages() -> Tuple[PruneStage, ...]:
+    """Brute-force enumeration, as the seed enumerator behaved: every
+    coherence permutation is materialised and left for the model to
+    reject.  Kept for state-explosion studies (paper §IV-E, Fig. 11)."""
+    return (BasicRfStage(), PathConstraintStage())
+
+
+# --------------------------------------------------------------------- #
+# path instantiation
+# --------------------------------------------------------------------- #
 def _instantiate_paths(
     init: Mapping[str, int],
     chosen: Sequence[Tuple[ThreadProgram, ThreadPath]],
-) -> Tuple[
-    List[Event],
-    Dict[int, EventTemplate],
-    Relation,
-    Relation,
-    Relation,
-    Relation,
-    Relation,
-    List[Tuple[str, Expr]],
-    List[PathConstraint],
-    Dict[int, int],
-]:
+) -> PathCombo:
     """Assign global event ids and build the static relations."""
     # every location touched gets an init write (herd zero-initialises)
     locations = set(init)
@@ -135,11 +400,11 @@ def _instantiate_paths(
         )
         next_eid += 1
 
-    po_pairs: List[Tuple[int, int]] = []
-    rmw_pairs: List[Tuple[int, int]] = []
-    addr_pairs: List[Tuple[int, int]] = []
-    data_pairs: List[Tuple[int, int]] = []
-    ctrl_pairs: List[Tuple[int, int]] = []
+    po_pairs: List[Pair] = []
+    rmw_pairs: List[Pair] = []
+    addr_pairs: List[Pair] = []
+    data_pairs: List[Pair] = []
+    ctrl_pairs: List[Pair] = []
     finals: List[Tuple[str, Expr]] = []
     constraints: List[PathConstraint] = []
     write_exprs: Dict[int, Expr] = {}
@@ -202,33 +467,94 @@ def _instantiate_paths(
                 )
             )
 
-    return (
-        events,
-        templates,
-        Relation(po_pairs),
-        Relation(rmw_pairs),
-        Relation(addr_pairs),
-        Relation(data_pairs),
-        Relation(ctrl_pairs),
-        finals,
-        constraints,
-        write_exprs,  # type: ignore[return-value]
+    combo = PathCombo(
+        events=events,
+        templates=templates,
+        po=Relation(po_pairs),
+        rmw=Relation(rmw_pairs),
+        addr=Relation(addr_pairs),
+        data=Relation(data_pairs),
+        ctrl=Relation(ctrl_pairs),
+        finals=finals,
+        constraints=constraints,
+        write_exprs=write_exprs,
     )
+    _index_combo(combo)
+    return combo
 
 
-def _rf_candidates(
-    events: Sequence[Event],
-    po: Relation,
-    rmw: Relation,
-) -> Dict[int, List[int]]:
-    """For each read, the writes it may read from."""
-    writes_by_loc: Dict[str, List[Event]] = {}
+def _index_combo(combo: PathCombo) -> None:
+    """Build the write/read indexes the pruning stages consult."""
+    events = combo.events
+    writes_by_loc: Dict[str, List[int]] = {}
+    init_write: Dict[str, int] = {}
+    init_ids: Set[int] = set()
     for e in events:
         if e.is_write and e.loc is not None:
-            writes_by_loc.setdefault(e.loc, []).append(e)
-    own_rmw_write = {r: w for r, w in rmw}
-    out: Dict[int, List[int]] = {}
+            if e.is_init:
+                init_write[e.loc] = e.eid
+                init_ids.add(e.eid)
+            else:
+                writes_by_loc.setdefault(e.loc, []).append(e.eid)
+    combo.writes_by_loc = writes_by_loc
+    combo.init_write = init_write
+    combo.init_ids = frozenset(init_ids)
+
+    po_pairs = combo.po.pairs
+    # per thread+location, accesses in program order
+    by_thread_loc: Dict[Tuple[int, Optional[str]], List[Event]] = {}
     for e in events:
+        if e.is_access and not e.is_init:
+            by_thread_loc.setdefault((e.tid, e.loc), []).append(e)
+
+    writes_before: Dict[int, Tuple[int, ...]] = {}
+    writes_after: Dict[int, Tuple[int, ...]] = {}
+    read_pairs: List[Tuple[int, int]] = []
+    base_co_edges: Dict[str, List[Pair]] = {}
+    for (tid, loc), group in by_thread_loc.items():
+        if loc is None:
+            continue
+        for e in group:
+            if e.is_read:
+                before = tuple(
+                    w.eid
+                    for w in group
+                    if w.is_write and (w.eid, e.eid) in po_pairs
+                )
+                after = tuple(
+                    w.eid
+                    for w in group
+                    if w.is_write and (e.eid, w.eid) in po_pairs
+                )
+                if before:
+                    writes_before[e.eid] = before
+                if after:
+                    writes_after[e.eid] = after
+        reads = [e.eid for e in group if e.is_read]
+        for r1 in reads:
+            for r2 in reads:
+                if (r1, r2) in po_pairs:
+                    read_pairs.append((r1, r2))
+        ws = [e.eid for e in group if e.is_write]
+        for w1 in ws:
+            for w2 in ws:
+                if (w1, w2) in po_pairs:
+                    base_co_edges.setdefault(loc, []).append((w1, w2))
+    combo.writes_before = writes_before
+    combo.writes_after = writes_after
+    combo.read_pairs = tuple(read_pairs)
+    combo.base_co_edges = base_co_edges
+
+
+def _rf_candidates(combo: PathCombo) -> Dict[int, List[int]]:
+    """For each read, the writes it may structurally read from."""
+    writes_by_loc: Dict[str, List[Event]] = {}
+    for e in combo.events:
+        if e.is_write and e.loc is not None:
+            writes_by_loc.setdefault(e.loc, []).append(e)
+    own_rmw_write = {r: w for r, w in combo.rmw}
+    out: Dict[int, List[int]] = {}
+    for e in combo.events:
         if not e.is_read or e.loc is None:
             continue
         candidates: List[int] = []
@@ -237,9 +563,6 @@ def _rf_candidates(
                 continue
             if own_rmw_write.get(e.eid) == w.eid:
                 continue  # an RMW cannot read its own write
-            if w.tid == e.tid and (e.eid, w.eid) in po.pairs:
-                continue  # reading from a po-later same-thread write is
-                # always a coherence violation; prune early
             candidates.append(w.eid)
         out[e.eid] = candidates
     return out
@@ -286,111 +609,235 @@ def _solve_values(
     return values
 
 
+# --------------------------------------------------------------------- #
+# the enumerator
+# --------------------------------------------------------------------- #
+class ExecutionEnumerator:
+    """The staged candidate-execution solver.
+
+    Iterating yields every consistent :class:`Candidate`.  Callers that
+    want the per-path-combination structure (e.g. the simulator, which
+    evaluates a compiled model's static prefix once per combination)
+    drive :meth:`path_combos` / :meth:`candidates_for` directly, wrapped
+    in :meth:`start` / :meth:`finish` for budget and timing bookkeeping.
+    """
+
+    def __init__(
+        self,
+        init: Mapping[str, int],
+        programs: Sequence[ThreadProgram],
+        budget: Optional[Budget] = None,
+        stats: Optional[EnumerationStats] = None,
+        stages: Optional[Sequence[PruneStage]] = None,
+    ) -> None:
+        self.init = dict(init)
+        self.programs = list(programs)
+        self.budget = budget or Budget()
+        self.stats = stats if stats is not None else EnumerationStats()
+        self.stages: Tuple[PruneStage, ...] = (
+            tuple(stages) if stages is not None else default_stages()
+        )
+        self._counter = 0
+        self._started_at: Optional[float] = None
+
+    # -- bookkeeping --------------------------------------------------- #
+    def start(self) -> None:
+        self.budget.reset()
+        self._started_at = time.perf_counter()
+
+    def finish(self) -> None:
+        if self._started_at is not None:
+            self.stats.elapsed_seconds += time.perf_counter() - self._started_at
+            self._started_at = None
+
+    def _tick(self) -> None:
+        self._counter += 1
+        self.budget.check(self._counter)
+
+    # -- stage 1: path combinations ------------------------------------ #
+    def path_combos(self) -> Iterator[PathCombo]:
+        for combo_paths in itertools.product(*(p.paths for p in self.programs)):
+            self.stats.path_combinations += 1
+            combo = _instantiate_paths(self.init, list(zip(self.programs, combo_paths)))
+            raw = _rf_candidates(combo)
+            filtered: Dict[int, List[int]] = {}
+            for read, sources in raw.items():
+                for stage in self.stages:
+                    sources = stage.filter_rf_sources(combo, read, sources, self.stats)
+                filtered[read] = sources
+            combo.rf_candidates = filtered
+            combo.read_ids = sorted(filtered)
+            if not combo.feasible():
+                continue  # a read with no possible source: infeasible path
+            yield combo
+
+    # -- stages 2-4: rf assignment, value solving, coherence ----------- #
+    def candidates_for(self, combo: PathCombo) -> Iterator[Candidate]:
+        for rf_choice in itertools.product(*combo.choice_lists):
+            self.stats.rf_assignments += 1
+            rf_map = dict(zip(combo.read_ids, rf_choice))
+            try:
+                values = _solve_values(combo.events, rf_map, combo.write_exprs)
+            except _ValueCycle:
+                self.stats.rejected_value_cycle += 1
+                self._tick()
+                continue
+            if any(
+                stage.reject_assignment(combo, rf_map, values, self.stats)
+                for stage in self.stages
+            ):
+                self._tick()
+                continue
+
+            edges_by_loc = self._co_constraints(combo, rf_map)
+            if edges_by_loc is None:
+                self.stats.rejected_rf_coherence += 1
+                self._tick()
+                continue
+
+            concrete = [
+                e if e.value is not None else e.with_value(values[e.eid])
+                if e.is_access
+                else e
+                for e in combo.events
+            ]
+            rf_rel = Relation((w, r) for r, w in rf_map.items())
+            final_values = tuple(
+                (name, expr.eval({r: values[r] for r in expr.reads()}))
+                for name, expr in combo.finals
+            )
+
+            for co in self._co_orders(combo, edges_by_loc):
+                self.stats.candidates += 1
+                self._tick()
+                execution = Execution(
+                    events=concrete,
+                    po=combo.po,
+                    rf=rf_rel,
+                    co=co,
+                    rmw=combo.rmw,
+                    addr=combo.addr,
+                    data=combo.data,
+                    ctrl=combo.ctrl,
+                )
+                yield Candidate(execution=execution, finals=final_values)
+
+    def _co_constraints(
+        self, combo: PathCombo, rf_map: Mapping[int, int]
+    ) -> Optional[Dict[str, Dict[int, Set[int]]]]:
+        """Per-location predecessor constraints over non-init writes.
+
+        Returns ``None`` when the constraints are unsatisfiable: an edge
+        forces a write co-before the init write, or the per-location
+        constraint graph is cyclic — either way, no coherence order can
+        satisfy this rf assignment.
+        """
+        loc_of = {
+            e.eid: e.loc for e in combo.events if e.is_write and e.loc is not None
+        }
+        preds: Dict[str, Dict[int, Set[int]]] = {
+            loc: {w: set() for w in ws} for loc, ws in combo.writes_by_loc.items()
+        }
+        builders: Dict[str, RelationBuilder] = {}
+        for stage in self.stages:
+            for a, b in stage.co_precedence(combo, rf_map):
+                if a in combo.init_ids:
+                    continue  # init is co-first: trivially satisfied
+                if b in combo.init_ids:
+                    return None  # nothing can be co-before init
+                loc = loc_of[a]
+                builder = builders.setdefault(loc, RelationBuilder())
+                # incremental infeasibility check: a constraint edge that
+                # closes a cycle means no coherence order can exist
+                if builder.would_close_cycle(a, b):
+                    return None
+                if builder.add(a, b):
+                    loc_preds = preds.setdefault(loc, {})
+                    loc_preds.setdefault(b, set()).add(a)
+                    loc_preds.setdefault(a, set())
+        return preds
+
+    def _co_orders(
+        self, combo: PathCombo, preds: Dict[str, Dict[int, Set[int]]]
+    ) -> Iterator[Relation]:
+        """All coherence orders consistent with the derived constraints.
+
+        Orders are built incrementally, write-by-write and per location:
+        a write whose constraint-predecessors are not all placed prunes
+        the whole prefix (and its factorial tail) in one step.  The
+        cross-location product grows relations via :meth:`Relation.extend`
+        so each location-prefix (pairs and successor index) is built once
+        and shared across its whole subtree of combinations.
+        """
+        locs = sorted(combo.writes_by_loc)
+        per_loc: List[List[Tuple[Pair, ...]]] = []
+        for loc in locs:
+            ws = combo.writes_by_loc[loc]
+            chain_pairs: List[Tuple[Pair, ...]] = []
+            for chain in self._linear_extensions(ws, preds.get(loc, {})):
+                builder = RelationBuilder()
+                builder.add_chain((combo.init_write[loc],) + chain, transitive=True)
+                chain_pairs.append(tuple(builder.freeze()))
+            per_loc.append(chain_pairs)
+        # init writes of untouched locations are co-minimal trivially
+        # (single write, no pairs needed)
+
+        def product(index: int, co: Relation) -> Iterator[Relation]:
+            if index == len(per_loc):
+                yield co
+                return
+            for pairs in per_loc[index]:
+                yield from product(index + 1, co.extend(pairs))
+
+        yield from product(0, Relation.empty())
+
+    def _linear_extensions(
+        self, writes: Sequence[int], preds: Mapping[int, Set[int]]
+    ) -> Iterator[Tuple[int, ...]]:
+        """Backtracking linear-extension enumeration with prefix pruning."""
+        def extend(placed: List[int], remaining: List[int]) -> Iterator[Tuple[int, ...]]:
+            if not remaining:
+                yield tuple(placed)
+                return
+            placed_set = set(placed)
+            for i, w in enumerate(remaining):
+                if preds.get(w, _EMPTY_SET) <= placed_set:
+                    placed.append(w)
+                    yield from extend(placed, remaining[:i] + remaining[i + 1 :])
+                    placed.pop()
+                else:
+                    # this prefix can never place w here: the factorial
+                    # tail below it is never expanded
+                    self.stats.pruned_co_prefixes += 1
+                    self._tick()
+
+        yield from extend([], list(writes))
+
+    # -- the classic all-in-one iteration ------------------------------ #
+    def __iter__(self) -> Iterator[Candidate]:
+        self.start()
+        try:
+            for combo in self.path_combos():
+                yield from self.candidates_for(combo)
+        finally:
+            self.finish()
+
+
+_EMPTY_SET: FrozenSet[int] = frozenset()
+
+
 def enumerate_candidates(
     init: Mapping[str, int],
     programs: Sequence[ThreadProgram],
     budget: Optional[Budget] = None,
     stats: Optional[EnumerationStats] = None,
+    stages: Optional[Sequence[PruneStage]] = None,
 ) -> Iterator[Candidate]:
-    """Yield every consistent candidate execution of the test."""
-    budget = budget or Budget()
-    stats = stats if stats is not None else EnumerationStats()
-    start = time.perf_counter()
-    counter = 0
+    """Yield every consistent candidate execution of the test.
 
-    try:
-        for combo in itertools.product(*(p.paths for p in programs)):
-            stats.path_combinations += 1
-            chosen = list(zip(programs, combo))
-            (
-                events,
-                _templates,
-                po,
-                rmw,
-                addr,
-                data,
-                ctrl,
-                finals,
-                constraints,
-                write_exprs,
-            ) = _instantiate_paths(init, chosen)
-            rf_candidates = _rf_candidates(events, po, rmw)
-            read_ids = sorted(rf_candidates)
-            choice_lists = [rf_candidates[r] for r in read_ids]
-            if any(not c for c in choice_lists):
-                continue  # a read with no possible source: infeasible path
-            writes_by_loc: Dict[str, List[int]] = {}
-            init_write: Dict[str, int] = {}
-            for e in events:
-                if e.is_write and e.loc is not None:
-                    if e.is_init:
-                        init_write[e.loc] = e.eid
-                    else:
-                        writes_by_loc.setdefault(e.loc, []).append(e.eid)
-
-            for rf_choice in itertools.product(*choice_lists):
-                stats.rf_assignments += 1
-                rf_map = dict(zip(read_ids, rf_choice))
-                try:
-                    values = _solve_values(events, rf_map, write_exprs)
-                except _ValueCycle:
-                    stats.rejected_value_cycle += 1
-                    counter += 1
-                    budget.check(counter)
-                    continue
-                ok = True
-                for constraint in constraints:
-                    env = {r: values[r] for r in constraint.expr.reads()}
-                    if bool(constraint.expr.eval(env)) != constraint.expected:
-                        ok = False
-                        break
-                if not ok:
-                    stats.rejected_constraint += 1
-                    counter += 1
-                    budget.check(counter)
-                    continue
-
-                concrete = [
-                    e if e.value is not None else e.with_value(values[e.eid])
-                    if e.is_access
-                    else e
-                    for e in events
-                ]
-                rf_rel = Relation((w, r) for r, w in rf_map.items())
-                final_values = tuple(
-                    (name, expr.eval({r: values[r] for r in expr.reads()}))
-                    for name, expr in finals
-                )
-
-                # coherence: permutations per location, init write first
-                loc_perms = [
-                    [
-                        [init_write[loc]] + list(perm)
-                        for perm in itertools.permutations(ws)
-                    ]
-                    for loc, ws in sorted(writes_by_loc.items())
-                ]
-                if not loc_perms:
-                    loc_perms = [[[]]]
-                for co_combo in itertools.product(*loc_perms):
-                    counter += 1
-                    stats.candidates += 1
-                    budget.check(counter)
-                    co = Relation.empty()
-                    for chain in co_combo:
-                        co = co | Relation.from_order(chain)
-                    # init writes of untouched locations are co-minimal
-                    # trivially (single write, no pairs needed)
-                    execution = Execution(
-                        events=concrete,
-                        po=po,
-                        rf=rf_rel,
-                        co=co,
-                        rmw=rmw,
-                        addr=addr,
-                        data=data,
-                        ctrl=ctrl,
-                    )
-                    yield Candidate(execution=execution, finals=final_values)
-    finally:
-        stats.elapsed_seconds = time.perf_counter() - start
+    A thin wrapper over :class:`ExecutionEnumerator` kept for callers
+    that do not need the staged structure.
+    """
+    yield from ExecutionEnumerator(
+        init, programs, budget=budget, stats=stats, stages=stages
+    )

@@ -20,10 +20,16 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from ..cat.interp import Model
 from ..cat.registry import get_model
-from ..cat.stdlib import build_env
+from ..cat.stdlib import build_static_env, dynamic_bindings
 from ..core.execution import Execution, Outcome
 from ..core.litmus import Condition
-from .enumerate import Budget, Candidate, EnumerationStats, enumerate_candidates
+from .enumerate import (
+    Budget,
+    Candidate,
+    EnumerationStats,
+    ExecutionEnumerator,
+    PruneStage,
+)
 from .templates import ThreadProgram
 
 
@@ -67,32 +73,55 @@ def run_programs(
     model: Union[str, Model],
     budget: Optional[Budget] = None,
     keep_executions: bool = False,
+    stages: Optional[Sequence[PruneStage]] = None,
 ) -> SimulationResult:
-    """Enumerate candidates of pre-elaborated threads and filter by model."""
+    """Enumerate candidates of pre-elaborated threads and filter by model.
+
+    The staged engine evaluates the model's *static prefix* (see
+    :meth:`~repro.cat.interp.Model.compile`) once per path combination —
+    over an environment built once per combination too — and only the
+    rf/co-dependent suffix per candidate.
+    """
     if isinstance(model, str):
         model = get_model(model)
-    budget = budget or Budget()
-    budget.reset()
+    compiled = model.compile()
     stats = EnumerationStats()
+    enumerator = ExecutionEnumerator(
+        init, programs, budget=budget, stats=stats, stages=stages
+    )
     outcomes: set = set()
     flagged_outcomes: set = set()
     flags: set = set()
     kept: List[Tuple[Execution, Outcome]] = []
 
-    for candidate in enumerate_candidates(init, programs, budget=budget, stats=stats):
-        env = build_env(candidate.execution)
-        verdict = model.evaluate(env)
-        if not verdict.allowed:
-            continue
-        bindings = dict(candidate.execution.final_memory())
-        bindings.update(candidate.finals_dict())
-        outcome = Outcome.of(bindings)
-        outcomes.add(outcome)
-        if verdict.flags:
-            flags.update(verdict.flags)
-            flagged_outcomes.add(outcome)
-        if keep_executions:
-            kept.append((candidate.execution, outcome))
+    enumerator.start()
+    try:
+        for combo in enumerator.path_combos():
+            static = build_static_env(
+                combo.events, combo.po, combo.rmw, combo.addr, combo.data, combo.ctrl
+            )
+            prefix = compiled.run_static(static.env)
+            if not prefix.allowed:
+                # a static check already failed: no rf/co choice can
+                # make any candidate of this combination allowed
+                continue
+            for candidate in enumerator.candidates_for(combo):
+                verdict = compiled.run_dynamic(
+                    prefix, dynamic_bindings(candidate.execution, static)
+                )
+                if not verdict.allowed:
+                    continue
+                bindings = dict(candidate.execution.final_memory())
+                bindings.update(candidate.finals_dict())
+                outcome = Outcome.of(bindings)
+                outcomes.add(outcome)
+                if verdict.flags:
+                    flags.update(verdict.flags)
+                    flagged_outcomes.add(outcome)
+                if keep_executions:
+                    kept.append((candidate.execution, outcome))
+    finally:
+        enumerator.finish()
 
     return SimulationResult(
         test_name=name,
@@ -111,6 +140,7 @@ def simulate_c(
     unroll: int = 2,
     budget: Optional[Budget] = None,
     keep_executions: bool = False,
+    stages: Optional[Sequence[PruneStage]] = None,
 ) -> SimulationResult:
     """Simulate a C litmus test under a C/C++ memory model."""
     from ..lang.semantics import elaborate  # local import to avoid cycles
@@ -123,6 +153,7 @@ def simulate_c(
         model,
         budget=budget,
         keep_executions=keep_executions,
+        stages=stages,
     )
 
 
@@ -131,6 +162,7 @@ def simulate_asm(
     model: Optional[Union[str, Model]] = None,
     budget: Optional[Budget] = None,
     keep_executions: bool = False,
+    stages: Optional[Sequence[PruneStage]] = None,
 ) -> SimulationResult:
     """Simulate an assembly litmus test under its architecture model."""
     from ..asm.semantics import elaborate_asm  # local import to avoid cycles
@@ -145,4 +177,5 @@ def simulate_asm(
         chosen,
         budget=budget,
         keep_executions=keep_executions,
+        stages=stages,
     )

@@ -5,6 +5,8 @@ from .campaign import (
     CAMPAIGN_OPTS,
     CampaignCell,
     CampaignReport,
+    ResultCache,
+    SourceSimCache,
     run_campaign,
 )
 from .telechat import TelechatResult, differential_outcomes, test_compilation
@@ -14,6 +16,8 @@ __all__ = [
     "CAMPAIGN_OPTS",
     "CampaignCell",
     "CampaignReport",
+    "ResultCache",
+    "SourceSimCache",
     "run_campaign",
     "TelechatResult",
     "differential_outcomes",

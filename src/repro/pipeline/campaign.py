@@ -17,9 +17,11 @@ configured suite; the *shape* is the reproduction target:
 
 from __future__ import annotations
 
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..compiler.profiles import (
     ARCHES,
@@ -30,8 +32,10 @@ from ..compiler.profiles import (
 )
 from ..core.errors import ReproError, SimulationTimeout
 from ..herd.enumerate import Budget
+from ..herd.simulator import SimulationResult, simulate_c
 from ..lang.ast import CLitmus
 from ..tools.diy import DiyConfig, generate
+from ..tools.l2c import prepare
 from .telechat import TelechatResult, test_compilation
 
 #: Table IV's column order.
@@ -75,6 +79,88 @@ class CampaignCell:
             self.equal += 1
 
 
+class _KeyedCache:
+    """A thread-safe exactly-once cache with hit/miss counters.
+
+    ``get(key, producer)`` runs ``producer`` at most once per key — even
+    under the campaign worker pool — and replays its result (or the
+    :class:`SimulationTimeout` / :class:`ReproError` it raised) to every
+    later caller.  Exceptions are cached too so a timing-out source test
+    is not re-simulated once per campaign cell.
+    """
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self._store: Dict = {}
+        self._inflight: set = set()
+        self._cond = threading.Condition()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, key, producer: Callable):
+        with self._cond:
+            while True:
+                if key in self._store:
+                    self.hits += 1
+                    kind, payload = self._store[key]
+                    if kind == "error":
+                        raise payload
+                    return payload
+                if key not in self._inflight:
+                    # we claim this key; the producer runs outside the
+                    # lock so distinct keys simulate concurrently
+                    self._inflight.add(key)
+                    self.misses += 1
+                    break
+                self._cond.wait()
+        try:
+            entry = ("value", producer())
+        except (SimulationTimeout, ReproError) as exc:
+            entry = ("error", exc)
+        except BaseException:
+            # unexpected failure: don't cache, don't strand the waiters
+            with self._cond:
+                self._inflight.discard(key)
+                self._cond.notify_all()
+            raise
+        with self._cond:
+            self._store[key] = entry
+            self._inflight.discard(key)
+            self._cond.notify_all()
+        if entry[0] == "error":
+            raise entry[1]
+        return entry[1]
+
+
+class SourceSimCache(_KeyedCache):
+    """Source-side simulations keyed by
+    ``(test, source_model, augment, budget_candidates)``.
+
+    ``misses`` counts actual source simulations: a campaign simulates
+    each test's source side exactly once per source model, no matter how
+    many (arch × opt × compiler) cells consume it.
+    """
+
+    @property
+    def simulations(self) -> int:
+        return self.misses
+
+
+class ResultCache(_KeyedCache):
+    """Full test_tv results keyed by
+    ``(test, profile, source_model, augment, budget_candidates)``.
+
+    Within one campaign every key is unique; share one instance across
+    ``run_campaign`` calls (re-runs, Claim-4 style model sweeps over the
+    same suite) to skip already-tested cells entirely.  The campaign
+    parameters that change a cell's result are part of the key, so a
+    re-run with a different budget or augmentation re-simulates instead
+    of replaying stale verdicts (or stale timeouts).
+    """
+
+
 @dataclass
 class CampaignReport:
     """The full campaign result: cells plus run metadata."""
@@ -86,6 +172,13 @@ class CampaignReport:
     elapsed_seconds: float = 0.0
     #: per-test positive records for drill-down: (test, arch, opt, compiler)
     positives: List[Tuple[str, str, str, str]] = field(default_factory=list)
+    #: source-side simulations actually run (== distinct tests when the
+    #: cache starts cold; the per-cell loop never re-simulates a source)
+    source_simulations: int = 0
+    #: cells answered from a shared ResultCache without re-running
+    cached_cells: int = 0
+    #: worker threads used
+    workers: int = 1
 
     def cell(self, arch: str, opt: str, compiler: str) -> CampaignCell:
         key = (arch, opt, compiler)
@@ -111,7 +204,9 @@ class CampaignReport:
         lines = [
             f"Campaign under source model {self.source_model!r}: "
             f"{self.tests_input} C tests input, {self.compiled_tests} "
-            f"compiled tests output ({self.elapsed_seconds:.1f}s)",
+            f"compiled tests output ({self.elapsed_seconds:.1f}s, "
+            f"{self.source_simulations} source simulations, "
+            f"{self.workers} worker{'s' if self.workers != 1 else ''})",
             "",
         ]
         header = f"{'':28s}" + "".join(f"{opt:>14s}" for opt in CAMPAIGN_OPTS)
@@ -132,6 +227,25 @@ class CampaignReport:
         return "\n".join(lines)
 
 
+def _campaign_cells(
+    tests: Sequence[CLitmus],
+    arches: Sequence[str],
+    opts: Sequence[str],
+    compilers: Sequence[str],
+) -> List[Tuple[CLitmus, str, str, str]]:
+    """The (test, arch, opt, compiler) work list, in Table IV order."""
+    cells: List[Tuple[CLitmus, str, str, str]] = []
+    for litmus in tests:
+        for arch in arches:
+            for compiler in compilers:
+                levels = LLVM_OPT_LEVELS if compiler == "llvm" else GCC_OPT_LEVELS
+                for opt in opts:
+                    if opt not in levels:
+                        continue  # clang has no -Og (Table IV dashes)
+                    cells.append((litmus, arch, opt, compiler))
+    return cells
+
+
 def run_campaign(
     tests: Optional[Sequence[CLitmus]] = None,
     config: Optional[DiyConfig] = None,
@@ -141,46 +255,100 @@ def run_campaign(
     source_model: str = "rc11",
     budget_candidates: int = 400_000,
     augment: bool = True,
+    workers: int = 1,
+    source_cache: Optional[SourceSimCache] = None,
+    result_cache: Optional[ResultCache] = None,
 ) -> CampaignReport:
     """Run the Table IV campaign.
 
     Either pass pre-generated ``tests`` or a diy ``config`` to generate
     them.  Timeouts are recorded, not raised — large ring shapes can
     exceed the budget, as in the paper's 5+-thread caveat.
+
+    The source side of each test is simulated once per source model (in
+    the shared ``source_cache``) and reused by every (arch × opt ×
+    compiler) cell.  ``workers`` > 1 runs cells through a
+    ``concurrent.futures`` thread pool; tallying stays in the caller's
+    thread, so reports are deterministic regardless of worker count.
+    Pass a shared ``result_cache`` to skip identical cells across
+    repeated campaigns.
     """
     if tests is None:
         tests = generate(config or DiyConfig())
-    report = CampaignReport(source_model=source_model)
+    source_cache = source_cache if source_cache is not None else SourceSimCache()
+    result_cache = result_cache if result_cache is not None else ResultCache()
+    workers = max(1, workers)
+    report = CampaignReport(source_model=source_model, workers=workers)
     report.tests_input = len(tests)
     start = time.perf_counter()
-    for litmus in tests:
-        for arch in arches:
-            for compiler in compilers:
-                levels = LLVM_OPT_LEVELS if compiler == "llvm" else GCC_OPT_LEVELS
-                for opt in opts:
-                    if opt not in levels:
-                        continue  # clang has no -Og (Table IV dashes)
-                    cell = report.cell(arch, opt, compiler)
-                    profile = make_profile(compiler, opt, arch)
-                    try:
-                        result = test_compilation(
-                            litmus, profile,
-                            source_model=source_model,
-                            augment=augment,
-                            budget=Budget(max_candidates=budget_candidates),
-                        )
-                    except SimulationTimeout:
-                        cell.timeouts += 1
-                        continue
-                    except ReproError:
-                        cell.errors += 1
-                        continue
-                    report.compiled_tests += 1
-                    verdict = result.verdict
-                    cell.record(verdict)
-                    if verdict == "positive":
-                        report.positives.append(
-                            (litmus.name, arch, opt, compiler)
-                        )
+    source_misses_before = source_cache.misses
+    result_hits_before = result_cache.hits
+
+    def simulate_source(litmus: CLitmus) -> SimulationResult:
+        key = (litmus.name, source_model, augment, budget_candidates)
+        return source_cache.get(
+            key,
+            lambda: simulate_c(
+                prepare(litmus, augment=augment),
+                source_model,
+                budget=Budget(max_candidates=budget_candidates),
+            ),
+        )
+
+    def run_cell(
+        litmus: CLitmus, arch: str, opt: str, compiler: str
+    ) -> TelechatResult:
+        profile = make_profile(compiler, opt, arch)
+        return result_cache.get(
+            (litmus.name, profile.name, source_model, augment, budget_candidates),
+            lambda: test_compilation(
+                litmus,
+                profile,
+                source_model=source_model,
+                augment=augment,
+                budget=Budget(max_candidates=budget_candidates),
+                source_result=simulate_source(litmus),
+            ),
+        )
+
+    work = _campaign_cells(tests, arches, opts, compilers)
+    if workers > 1:
+        pool = ThreadPoolExecutor(max_workers=workers)
+        futures = [pool.submit(run_cell, *item) for item in work]
+        outcomes = []
+        for future in futures:
+            try:
+                outcomes.append(("ok", future.result()))
+            except SimulationTimeout:
+                outcomes.append(("timeout", None))
+            except ReproError:
+                outcomes.append(("error", None))
+        pool.shutdown()
+    else:
+        outcomes = []
+        for item in work:
+            try:
+                outcomes.append(("ok", run_cell(*item)))
+            except SimulationTimeout:
+                outcomes.append(("timeout", None))
+            except ReproError:
+                outcomes.append(("error", None))
+
+    for (litmus, arch, opt, compiler), (status, result) in zip(work, outcomes):
+        cell = report.cell(arch, opt, compiler)
+        if status == "timeout":
+            cell.timeouts += 1
+            continue
+        if status == "error":
+            cell.errors += 1
+            continue
+        report.compiled_tests += 1
+        verdict = result.verdict
+        cell.record(verdict)
+        if verdict == "positive":
+            report.positives.append((litmus.name, arch, opt, compiler))
+
+    report.source_simulations = source_cache.misses - source_misses_before
+    report.cached_cells = result_cache.hits - result_hits_before
     report.elapsed_seconds = time.perf_counter() - start
     return report

@@ -66,6 +66,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         arches=args.arch or [a for a in ARCHES],
         opts=args.opt or ["-O1", "-O2", "-O3"],
         source_model=args.cmem,
+        workers=args.workers,
     )
     print(report.table())
     return 0
@@ -109,6 +110,8 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--arch", action="append", choices=ARCHES)
     campaign.add_argument("--opt", action="append")
     campaign.add_argument("--cmem", default="rc11")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="campaign worker threads")
     campaign.set_defaults(func=_cmd_campaign)
 
     sub.add_parser("models", help="list memory models").set_defaults(

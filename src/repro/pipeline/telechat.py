@@ -45,6 +45,9 @@ class TelechatResult:
     source_seconds: float
     target_seconds: float
     compile_seconds: float
+    #: True when the source simulation was reused (hoisted or cached)
+    #: rather than run inside this call
+    source_reused: bool = False
 
     @property
     def verdict(self) -> str:
@@ -70,6 +73,7 @@ def test_compilation(
     optimise: bool = True,
     unroll: int = 2,
     budget: Optional[Budget] = None,
+    source_result: Optional[SimulationResult] = None,
 ) -> TelechatResult:
     """Run test_tv on one C litmus test under one compiler profile.
 
@@ -85,6 +89,11 @@ def test_compilation(
             the non-terminating Fig. 11 configuration — bring a budget).
         unroll: loop unroll factor for source simulation.
         budget: enumeration budget for both simulations.
+        source_result: a pre-computed source-side simulation of this test
+            under ``source_model`` (the campaign runner hoists S′
+            simulation out of its per-cell loop and passes it here, so
+            each test's source side is simulated once per source model,
+            not once per cell).
     """
     prepared = prepare(litmus, augment=augment)
 
@@ -97,9 +106,15 @@ def test_compilation(
     )
     compile_seconds = time.perf_counter() - compile_start
 
-    source_start = time.perf_counter()
-    source_result = simulate_c(prepared, source_model, unroll=unroll, budget=budget)
-    source_seconds = time.perf_counter() - source_start
+    source_reused = source_result is not None
+    if source_result is None:
+        source_start = time.perf_counter()
+        source_result = simulate_c(
+            prepared, source_model, unroll=unroll, budget=budget
+        )
+        source_seconds = time.perf_counter() - source_start
+    else:
+        source_seconds = 0.0
 
     chosen_target = target_model if target_model is not None else arch_model(profile.arch)
     target_start = time.perf_counter()
@@ -123,6 +138,7 @@ def test_compilation(
         source_seconds=source_seconds,
         target_seconds=target_seconds,
         compile_seconds=compile_seconds,
+        source_reused=source_reused,
     )
 
 

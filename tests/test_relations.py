@@ -4,10 +4,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.relations import Relation
+from repro.core.relations import Relation, RelationBuilder
 
 pairs_strategy = st.sets(
     st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=20
+)
+
+chain_strategy = st.lists(
+    st.integers(0, 15), min_size=0, max_size=8, unique=True
 )
 
 
@@ -183,3 +187,126 @@ class TestProperties:
         r = Relation(pairs)
         closure = r.transitive_closure()
         assert r.is_acyclic() == closure.is_irreflexive()
+
+    @given(pairs_strategy)
+    def test_dfs_acyclicity_agrees_with_closure_based(self, pairs):
+        """The DFS is_acyclic must agree with the definitional check:
+        no (a, a) in the transitive closure."""
+        r = Relation(pairs)
+        closure_based = all(
+            (a, a) not in r.transitive_closure() for a in r.field()
+        )
+        assert r.is_acyclic() == closure_based
+
+    @given(pairs_strategy, pairs_strategy, pairs_strategy)
+    def test_compose_is_associative(self, p1, p2, p3):
+        r1, r2, r3 = Relation(p1), Relation(p2), Relation(p3)
+        assert r1.compose(r2).compose(r3) == r1.compose(r2.compose(r3))
+
+    @given(pairs_strategy)
+    def test_identity_is_compose_neutral(self, pairs):
+        r = Relation(pairs)
+        ident = Relation.identity(range(8))
+        assert r.compose(ident) == r
+        assert ident.compose(r) == r
+
+    @given(pairs_strategy, pairs_strategy)
+    def test_compose_distributes_over_union(self, p1, p2):
+        r1, r2 = Relation(p1), Relation(p2)
+        other = Relation([(i, (i + 1) % 8) for i in range(8)])
+        assert (r1 | r2).compose(other) == r1.compose(other) | r2.compose(other)
+
+    @given(chain_strategy)
+    def test_from_order_is_closure_of_from_successive(self, chain):
+        assert (
+            Relation.from_successive(chain).transitive_closure()
+            == Relation.from_order(chain)
+        )
+
+    @given(chain_strategy)
+    def test_from_successive_subset_of_from_order(self, chain):
+        assert (
+            Relation.from_successive(chain).pairs
+            <= Relation.from_order(chain).pairs
+        )
+
+    @given(chain_strategy)
+    def test_from_order_total_and_acyclic(self, chain):
+        r = Relation.from_order(chain)
+        assert r.is_acyclic()
+        assert r.is_total_over(chain)
+
+
+class TestExtend:
+    def test_extend_adds_pairs(self):
+        r = rel((1, 2)).extend([(2, 3)])
+        assert r.pairs == frozenset({(1, 2), (2, 3)})
+
+    def test_extend_noop_returns_self(self):
+        r = rel((1, 2))
+        assert r.extend([(1, 2)]) is r
+        assert r.extend([]) is r
+
+    @given(pairs_strategy, pairs_strategy)
+    def test_extend_equals_union(self, p1, p2):
+        assert Relation(p1).extend(p2) == Relation(p1) | Relation(p2)
+
+    @given(pairs_strategy, pairs_strategy)
+    def test_extend_reuses_index_correctly(self, p1, p2):
+        """Growing via extend (with the successor index pre-warmed) must
+        behave identically to a fresh relation in index-consuming ops."""
+        base = Relation(p1)
+        base.successors()  # warm the index so extend donates it
+        grown = base.extend(p2)
+        fresh = Relation(set(p1) | set(p2))
+        probe = Relation([(i, (i + 3) % 8) for i in range(8)])
+        assert grown.compose(probe) == fresh.compose(probe)
+        assert grown.is_acyclic() == fresh.is_acyclic()
+
+    @given(pairs_strategy)
+    def test_pair_by_pair_growth(self, pairs):
+        r = Relation.empty()
+        for pair in pairs:
+            r = r.extend([pair])
+        assert r == Relation(pairs)
+
+
+class TestRelationBuilder:
+    def test_add_and_freeze(self):
+        b = RelationBuilder()
+        assert b.add(1, 2)
+        assert not b.add(1, 2)  # duplicate
+        assert b.add(2, 3)
+        assert b.freeze() == rel((1, 2), (2, 3))
+
+    def test_add_chain_transitive(self):
+        b = RelationBuilder()
+        b.add_chain([1, 2, 3])
+        assert b.freeze() == Relation.from_order([1, 2, 3])
+
+    def test_add_chain_successive(self):
+        b = RelationBuilder()
+        b.add_chain([1, 2, 3], transitive=False)
+        assert b.freeze() == Relation.from_successive([1, 2, 3])
+
+    def test_has_path(self):
+        b = RelationBuilder([(1, 2), (2, 3)])
+        assert b.has_path(1, 3)
+        assert not b.has_path(3, 1)
+        assert b.has_path(1, 1)  # trivially reachable
+
+    def test_would_close_cycle(self):
+        b = RelationBuilder([(1, 2), (2, 3)])
+        assert b.would_close_cycle(3, 1)
+        assert b.would_close_cycle(4, 4)  # self-loop
+        assert not b.would_close_cycle(1, 3)
+
+    @given(pairs_strategy)
+    def test_freeze_matches_direct_construction(self, pairs):
+        b = RelationBuilder(pairs)
+        frozen = b.freeze()
+        direct = Relation(pairs)
+        assert frozen == direct
+        probe = Relation([(i, (i + 1) % 8) for i in range(8)])
+        assert frozen.compose(probe) == direct.compose(probe)
+        assert frozen.is_acyclic() == direct.is_acyclic()

@@ -222,10 +222,12 @@ exists (P0:r0=1 /\\ P1:r0=1)
 
 class TestScalability:
     def test_fig11_unoptimised_exceeds_budget(self):
-        """Claim 5 precondition: the raw compiled test explodes."""
+        """Claim 5 precondition: the raw compiled test explodes under
+        brute-force enumeration; the staged solver prunes the explosion
+        away at identical outcomes."""
         from repro.core.errors import SimulationTimeout
         from repro.tools import assembly_to_litmus, compile_and_disassemble, prepare
-        from repro.herd import simulate_asm
+        from repro.herd import exhaustive_stages, simulate_asm
 
         profile = make_profile("llvm", "-O0", "aarch64")
         prepared = prepare(fig11_lb3())
@@ -233,7 +235,15 @@ class TestScalability:
         raw = assembly_to_litmus(c2s.obj, prepared.condition,
                                  listing=c2s.listing, optimise=False)
         with pytest.raises(SimulationTimeout):
-            simulate_asm(raw, budget=Budget(max_candidates=400))
+            simulate_asm(raw, budget=Budget(max_candidates=400),
+                         stages=exhaustive_stages())
+        # the staged solver survives the same budget: coherence pruning
+        # collapses the factorial coherence space before it is expanded
+        staged = simulate_asm(raw, budget=Budget(max_candidates=400))
+        assert staged.stats.total_pruned > 0
+        exhaustive = simulate_asm(raw, stages=exhaustive_stages())
+        assert staged.outcomes == exhaustive.outcomes
+        assert staged.stats.candidates < exhaustive.stats.candidates
 
     def test_fig11_optimised_terminates_quickly(self):
         """Claim 5: with s2l optimisation, milliseconds."""
