@@ -13,11 +13,10 @@ Soundness is asserted throughout: pruning must never change an outcome
 set, only the work done to reach it.
 """
 
-import json
 import pathlib
 import time
 
-from benchmarks._report import banner, row
+from benchmarks._report import banner, merge_json_report, row
 
 from repro.compiler import make_profile
 from repro.herd import Budget, exhaustive_stages, simulate_asm, simulate_c
@@ -85,5 +84,6 @@ def test_bench_solver_speedup(benchmark):
     timed = benchmark(simulate_asm, raw)
     record["benchmark_staged_raw_seconds"] = timed.stats.elapsed_seconds
 
-    _REPORT_PATH.write_text(json.dumps(record, indent=2, sort_keys=True))
+    # merge-write: the campaign-engine benchmark shares this report file
+    merge_json_report(_REPORT_PATH, record)
     row("report", "BENCH_solver_speedup.json", str(_REPORT_PATH.name))

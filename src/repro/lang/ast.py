@@ -9,6 +9,7 @@ and the paper compiles; it is not general C.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -194,6 +195,26 @@ class CLitmus(LitmusBase):
 
     def thread_names(self) -> Tuple[str, ...]:
         return tuple(t.name for t in self.threads)
+
+    def digest(self) -> str:
+        """A stable content digest of this test.
+
+        Two tests with identical programs (init, threads, condition,
+        widths, const qualifiers) share a digest even when their *names*
+        differ — and two tests that happen to share a name (``LB001``
+        from two different :class:`~repro.tools.diy.DiyConfig`\\ s) do
+        not.  Campaign caches and the persistent campaign store key by
+        this, so verdicts are shareable across runs, processes and
+        sessions without name-collision unsoundness.
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            from .printer import digest_source  # deferred: printer imports this module
+
+            payload = digest_source(self)
+            cached = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+            self.__dict__["_digest"] = cached
+        return cached
 
     def width_of(self, loc: str) -> int:
         return self.widths.get(loc, 32)

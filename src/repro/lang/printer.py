@@ -125,6 +125,26 @@ def print_c_litmus(litmus: CLitmus) -> str:
     return "\n".join(parts)
 
 
+def digest_source(litmus: CLitmus) -> str:
+    """The canonical text :meth:`CLitmus.digest` hashes.
+
+    The printed litmus form with the test *name* normalised out (a digest
+    is content identity — two tests that differ only in name must share
+    one), extended with the fields the printed form omits: non-default
+    location widths and const qualifiers.  Printing is canonical — init
+    sorted, memory orders by their C11 spelling — so a parse/print
+    round-trip preserves the digest.
+    """
+    lines = print_c_litmus(litmus).splitlines()
+    lines[0] = "C <test>"
+    for loc, width in sorted(litmus.widths.items()):
+        if width != 32:
+            lines.append(f"width {loc} {width}")
+    for loc in sorted(set(litmus.const_locations)):
+        lines.append(f"const {loc}")
+    return "\n".join(lines)
+
+
 def print_c_program(litmus: CLitmus) -> str:
     """Render a *compilable* C program (l2c output): globals + functions.
 

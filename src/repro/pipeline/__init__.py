@@ -1,4 +1,4 @@
-"""The Telechat pipeline: test_tv driver, campaign runner, CLI."""
+"""The Telechat pipeline: test_tv driver, campaign runner, store, CLI."""
 
 from .campaign import (
     ARCH_DISPLAY,
@@ -7,17 +7,33 @@ from .campaign import (
     CampaignReport,
     ResultCache,
     SourceSimCache,
+    merge_reports,
     run_campaign,
 )
-from .telechat import TelechatResult, differential_outcomes, test_compilation
+from .store import CampaignStore, cell_key, record_key
+from .telechat import (
+    TelechatResult,
+    comparison_from_record,
+    differential_outcomes,
+    outcomes_from_jsonable,
+    outcomes_to_jsonable,
+    test_compilation,
+)
 
 __all__ = [
     "ARCH_DISPLAY",
     "CAMPAIGN_OPTS",
     "CampaignCell",
     "CampaignReport",
+    "CampaignStore",
     "ResultCache",
     "SourceSimCache",
+    "cell_key",
+    "comparison_from_record",
+    "merge_reports",
+    "outcomes_from_jsonable",
+    "outcomes_to_jsonable",
+    "record_key",
     "run_campaign",
     "TelechatResult",
     "differential_outcomes",

@@ -13,15 +13,41 @@ configured suite; the *shape* is the reproduction target:
   dependency), masked at ``-O2+`` by if-conversion's data dependency;
 * re-running with ``source_model="rc11+lb"`` makes every positive
   difference disappear (Claim 4).
+
+Campaigns scale past one process and one session:
+
+* ``workers=N`` runs cells through a thread pool (in-process caches
+  shared), ``processes=N`` through a ``ProcessPoolExecutor`` (one source
+  cache per worker process, verdicts returned as records);
+* ``store=`` appends every verdict to a persistent
+  :class:`~repro.pipeline.store.CampaignStore`; ``resume=True`` replays
+  stored verdicts so a warm re-run simulates nothing;
+* ``shard=(k, n)`` runs the k-th of n deterministic cell partitions, and
+  :func:`merge_reports` folds the shard reports back into the single-run
+  Table IV.
+
+All caches and store keys use :meth:`CLitmus.digest` — content identity,
+never test names, so verdicts shared across campaigns can't be poisoned
+by two different tests named ``LB001``.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..compiler.profiles import (
     ARCHES,
@@ -36,6 +62,7 @@ from ..herd.simulator import SimulationResult, simulate_c
 from ..lang.ast import CLitmus
 from ..tools.diy import DiyConfig, generate
 from ..tools.l2c import prepare
+from .store import STORE_SCHEMA, CampaignStore, cell_key
 from .telechat import TelechatResult, test_compilation
 
 #: Table IV's column order.
@@ -50,6 +77,9 @@ ARCH_DISPLAY = (
     ("x86_64", "Intel x86-64 (64-bit)"),
     ("mips64", "MIPS (64-bit)"),
 )
+
+#: the verdict strings :meth:`CampaignCell.record` tallies.
+KNOWN_VERDICTS = ("positive", "negative", "equal", "ub-masked")
 
 
 @dataclass
@@ -73,10 +103,24 @@ class CampaignCell:
             self.positive += 1
         elif verdict == "negative":
             self.negative += 1
+        elif verdict == "equal":
+            self.equal += 1
         elif verdict == "ub-masked":
             self.ub_masked += 1
         else:
-            self.equal += 1
+            # an unknown verdict must never silently land in a Table IV
+            # tally — a future verdict type has to be classified here
+            raise ValueError(
+                f"unknown verdict {verdict!r}; expected one of {KNOWN_VERDICTS}"
+            )
+
+    def add(self, other: "CampaignCell") -> None:
+        self.positive += other.positive
+        self.negative += other.negative
+        self.equal += other.equal
+        self.ub_masked += other.ub_masked
+        self.timeouts += other.timeouts
+        self.errors += other.errors
 
 
 class _KeyedCache:
@@ -136,7 +180,7 @@ class _KeyedCache:
 
 class SourceSimCache(_KeyedCache):
     """Source-side simulations keyed by
-    ``(test, source_model, augment, budget_candidates)``.
+    ``(test digest, source_model, augment, budget_candidates)``.
 
     ``misses`` counts actual source simulations: a campaign simulates
     each test's source side exactly once per source model, no matter how
@@ -150,14 +194,15 @@ class SourceSimCache(_KeyedCache):
 
 class ResultCache(_KeyedCache):
     """Full test_tv results keyed by
-    ``(test, profile, source_model, augment, budget_candidates)``.
+    ``(test digest, profile, source_model, augment, budget_candidates)``.
 
     Within one campaign every key is unique; share one instance across
     ``run_campaign`` calls (re-runs, Claim-4 style model sweeps over the
     same suite) to skip already-tested cells entirely.  The campaign
     parameters that change a cell's result are part of the key, so a
     re-run with a different budget or augmentation re-simulates instead
-    of replaying stale verdicts (or stale timeouts).
+    of replaying stale verdicts (or stale timeouts) — and the *content*
+    digest means two different tests that share a name can never collide.
     """
 
 
@@ -172,13 +217,23 @@ class CampaignReport:
     elapsed_seconds: float = 0.0
     #: per-test positive records for drill-down: (test, arch, opt, compiler)
     positives: List[Tuple[str, str, str, str]] = field(default_factory=list)
-    #: source-side simulations actually run (== distinct tests when the
-    #: cache starts cold; the per-cell loop never re-simulates a source)
+    #: distinct source-side simulations actually run (== distinct tests
+    #: when the caches start cold; never double-counts a test shared by
+    #: several worker processes or shards)
     source_simulations: int = 0
-    #: cells answered from a shared ResultCache without re-running
+    #: the source-simulation cache keys behind ``source_simulations`` —
+    #: kept so merging shard reports can de-duplicate across shards
+    source_sim_keys: FrozenSet[Tuple] = frozenset()
+    #: cells answered from a shared in-memory ResultCache without re-running
     cached_cells: int = 0
+    #: cells replayed from the persistent store without re-running
+    store_hits: int = 0
     #: worker threads used
     workers: int = 1
+    #: worker processes used (0 = in-process execution)
+    processes: int = 0
+    #: the (k, n) cell shard this report covers (None = the whole campaign)
+    shard: Optional[Tuple[int, int]] = None
 
     def cell(self, arch: str, opt: str, compiler: str) -> CampaignCell:
         key = (arch, opt, compiler)
@@ -201,12 +256,18 @@ class CampaignReport:
     # ------------------------------------------------------------------ #
     def table(self) -> str:
         """Render in the paper's Table IV layout (clang/gcc per cell)."""
+        if self.processes:
+            parallelism = (
+                f"{self.processes} process{'es' if self.processes != 1 else ''}"
+            )
+        else:
+            parallelism = f"{self.workers} worker{'s' if self.workers != 1 else ''}"
         lines = [
             f"Campaign under source model {self.source_model!r}: "
             f"{self.tests_input} C tests input, {self.compiled_tests} "
             f"compiled tests output ({self.elapsed_seconds:.1f}s, "
             f"{self.source_simulations} source simulations, "
-            f"{self.workers} worker{'s' if self.workers != 1 else ''})",
+            f"{parallelism})",
             "",
         ]
         header = f"{'':28s}" + "".join(f"{opt:>14s}" for opt in CAMPAIGN_OPTS)
@@ -225,6 +286,42 @@ class CampaignReport:
                     row += f"{str(cv)+'/'+str(gv):>14s}"
                 lines.append(row)
         return "\n".join(lines)
+
+
+def merge_reports(reports: Sequence[CampaignReport]) -> CampaignReport:
+    """Deterministically fold shard reports into one campaign report.
+
+    The k/n cell shards of one campaign partition its work list, so
+    summing their cells reconstructs the single-run Table IV exactly.
+    Source simulations are de-duplicated by cache key (two shards that
+    each simulated the same test's source count it once, like the
+    single-run cache would).  ``positives`` are sorted — shards finish in
+    arbitrary order, and the merge must not depend on it.
+    """
+    if not reports:
+        raise ValueError("merge_reports needs at least one report")
+    models = {r.source_model for r in reports}
+    if len(models) != 1:
+        raise ValueError(f"cannot merge reports across source models {sorted(models)}")
+    merged = CampaignReport(
+        source_model=reports[0].source_model,
+        workers=max(r.workers for r in reports),
+        processes=max(r.processes for r in reports),
+    )
+    merged.tests_input = max(r.tests_input for r in reports)
+    merged.compiled_tests = sum(r.compiled_tests for r in reports)
+    merged.elapsed_seconds = sum(r.elapsed_seconds for r in reports)
+    merged.cached_cells = sum(r.cached_cells for r in reports)
+    merged.store_hits = sum(r.store_hits for r in reports)
+    merged.source_sim_keys = frozenset().union(
+        *(r.source_sim_keys for r in reports)
+    )
+    merged.source_simulations = len(merged.source_sim_keys)
+    for report in reports:
+        for key, cell in report.cells.items():
+            merged.cell(*key).add(cell)
+    merged.positives = sorted(p for r in reports for p in r.positives)
+    return merged
 
 
 def _campaign_cells(
@@ -246,6 +343,123 @@ def _campaign_cells(
     return cells
 
 
+# --------------------------------------------------------------------------- #
+# cell evaluation → verdict records
+# --------------------------------------------------------------------------- #
+def _profile_name(compiler: str, opt: str, arch: str) -> str:
+    """The profile name for record/store keys.
+
+    Must never raise: an unbuildable profile (unknown arch, bad flag) is
+    tallied as an error *cell*, not a campaign abort, so its record still
+    needs a stable key.
+    """
+    try:
+        return make_profile(compiler, opt, arch).name
+    except ReproError:
+        return f"{compiler}-{opt.lstrip('-')}-{arch}"
+
+
+def _base_record(
+    litmus: CLitmus,
+    arch: str,
+    opt: str,
+    compiler: str,
+    source_model: str,
+    augment: bool,
+    budget_candidates: int,
+) -> Dict[str, object]:
+    """The identity half of a verdict record (see :mod:`.store`)."""
+    return {
+        "schema": STORE_SCHEMA,
+        "digest": litmus.digest(),
+        "test": litmus.name,
+        "arch": arch,
+        "opt": opt,
+        "compiler": compiler,
+        "profile": _profile_name(compiler, opt, arch),
+        "source_model": source_model,
+        "augment": bool(augment),
+        "budget_candidates": budget_candidates,
+    }
+
+
+def _verdict_record(
+    litmus: CLitmus,
+    arch: str,
+    opt: str,
+    compiler: str,
+    source_model: str,
+    augment: bool,
+    budget_candidates: int,
+    produce_result: Callable[[], TelechatResult],
+) -> Dict[str, object]:
+    """Run one cell and shape its outcome as a verdict record.
+
+    The single record constructor shared by every execution backend —
+    serial, thread pool and process pool must emit byte-identical record
+    shapes or the store would replay whichever backend wrote last.
+    """
+    base = _base_record(
+        litmus, arch, opt, compiler, source_model, augment, budget_candidates
+    )
+    try:
+        result = produce_result()
+    except SimulationTimeout:
+        return dict(base, status="timeout")
+    except ReproError:
+        return dict(base, status="error")
+    record = dict(base, status="ok")
+    record.update(result.to_record())
+    return record
+
+
+#: per-process source caches for the ProcessPoolExecutor backend, keyed by
+#: the campaign parameters that change a source simulation.
+_WORKER_SOURCE_CACHES: Dict[Tuple, SourceSimCache] = {}
+
+
+def _pool_cell(task: Tuple) -> Dict[str, object]:
+    """Evaluate one campaign cell in a worker process.
+
+    Runs the same tool-chain as the in-process path but returns a
+    JSON-able verdict record instead of a :class:`TelechatResult` — the
+    record is the cross-process (and on-disk) currency.  Each worker
+    process keeps its own source cache; the parent de-duplicates source
+    simulations across workers by cache key.
+    """
+    litmus, arch, opt, compiler, source_model, augment, budget_candidates = task
+    cache = _WORKER_SOURCE_CACHES.setdefault(
+        (source_model, augment, budget_candidates), SourceSimCache()
+    )
+    source_key = (litmus.digest(), source_model, augment, budget_candidates)
+
+    def produce_result() -> TelechatResult:
+        source_result = cache.get(
+            source_key,
+            lambda: simulate_c(
+                prepare(litmus, augment=augment),
+                source_model,
+                budget=Budget(max_candidates=budget_candidates),
+            ),
+        )
+        return test_compilation(
+            litmus,
+            make_profile(compiler, opt, arch),
+            source_model=source_model,
+            augment=augment,
+            budget=Budget(max_candidates=budget_candidates),
+            source_result=source_result,
+        )
+
+    misses_before = cache.misses
+    record = _verdict_record(
+        litmus, arch, opt, compiler, source_model, augment, budget_candidates,
+        produce_result,
+    )
+    record["source_simulated"] = cache.misses > misses_before
+    return record
+
+
 def run_campaign(
     tests: Optional[Sequence[CLitmus]] = None,
     config: Optional[DiyConfig] = None,
@@ -256,8 +470,12 @@ def run_campaign(
     budget_candidates: int = 400_000,
     augment: bool = True,
     workers: int = 1,
+    processes: int = 0,
     source_cache: Optional[SourceSimCache] = None,
     result_cache: Optional[ResultCache] = None,
+    store: Optional[Union[str, CampaignStore]] = None,
+    resume: bool = False,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> CampaignReport:
     """Run the Table IV campaign.
 
@@ -268,39 +486,74 @@ def run_campaign(
     The source side of each test is simulated once per source model (in
     the shared ``source_cache``) and reused by every (arch × opt ×
     compiler) cell.  ``workers`` > 1 runs cells through a
-    ``concurrent.futures`` thread pool; tallying stays in the caller's
-    thread, so reports are deterministic regardless of worker count.
+    ``concurrent.futures`` thread pool, ``processes`` > 0 through a
+    process pool (overriding ``workers``); tallying stays in the caller's
+    thread, so reports are deterministic regardless of parallelism.
     Pass a shared ``result_cache`` to skip identical cells across
-    repeated campaigns.
+    repeated campaigns in one process (thread/serial execution only —
+    in-memory caches cannot cross the process boundary, so the process
+    backend rejects them; use a ``store`` there instead).
+
+    ``store`` (a :class:`CampaignStore` or a path) persists every verdict;
+    with ``resume=True``, cells whose key is already stored are replayed
+    without any simulation, so a warm re-run costs nothing.  ``shard=(k,
+    n)`` evaluates only the k-th of n deterministic partitions of the
+    cell work list — run the n shards anywhere, then
+    :func:`merge_reports` their reports back into the full Table IV.
     """
     if tests is None:
         tests = generate(config or DiyConfig())
+    if resume and store is None:
+        raise ValueError("resume=True needs a store to resume from")
+    if store is not None and not isinstance(store, CampaignStore):
+        store = CampaignStore(store)
+    workers = max(1, workers)
+    processes = max(0, processes)
+    if processes > 0 and (source_cache is not None or result_cache is not None):
+        raise ValueError(
+            "in-memory source/result caches are not shared with worker "
+            "processes; persist across process-pool campaigns with a store"
+        )
     source_cache = source_cache if source_cache is not None else SourceSimCache()
     result_cache = result_cache if result_cache is not None else ResultCache()
-    workers = max(1, workers)
-    report = CampaignReport(source_model=source_model, workers=workers)
+    if shard is not None:
+        shard_k, shard_n = shard
+        if shard_n < 1 or not (0 <= shard_k < shard_n):
+            raise ValueError(f"bad shard {shard!r}: need 0 <= k < n")
+    report = CampaignReport(
+        source_model=source_model, workers=workers, processes=processes,
+        shard=shard,
+    )
     report.tests_input = len(tests)
     start = time.perf_counter()
-    source_misses_before = source_cache.misses
     result_hits_before = result_cache.hits
 
+    #: source-simulation keys actually produced during *this* run
+    simulated_sources: set = set()
+
+    def source_key_of(litmus: CLitmus) -> Tuple:
+        return (litmus.digest(), source_model, augment, budget_candidates)
+
     def simulate_source(litmus: CLitmus) -> SimulationResult:
-        key = (litmus.name, source_model, augment, budget_candidates)
-        return source_cache.get(
-            key,
-            lambda: simulate_c(
+        key = source_key_of(litmus)
+
+        def produce() -> SimulationResult:
+            simulated_sources.add(key)
+            return simulate_c(
                 prepare(litmus, augment=augment),
                 source_model,
                 budget=Budget(max_candidates=budget_candidates),
-            ),
-        )
+            )
+
+        return source_cache.get(key, produce)
 
     def run_cell(
         litmus: CLitmus, arch: str, opt: str, compiler: str
     ) -> TelechatResult:
         profile = make_profile(compiler, opt, arch)
         return result_cache.get(
-            (litmus.name, profile.name, source_model, augment, budget_candidates),
+            (litmus.digest(), profile.name, source_model, augment,
+             budget_candidates),
             lambda: test_compilation(
                 litmus,
                 profile,
@@ -311,31 +564,88 @@ def run_campaign(
             ),
         )
 
-    work = _campaign_cells(tests, arches, opts, compilers)
-    if workers > 1:
-        pool = ThreadPoolExecutor(max_workers=workers)
-        futures = [pool.submit(run_cell, *item) for item in work]
-        outcomes = []
-        for future in futures:
-            try:
-                outcomes.append(("ok", future.result()))
-            except SimulationTimeout:
-                outcomes.append(("timeout", None))
-            except ReproError:
-                outcomes.append(("error", None))
-        pool.shutdown()
-    else:
-        outcomes = []
-        for item in work:
-            try:
-                outcomes.append(("ok", run_cell(*item)))
-            except SimulationTimeout:
-                outcomes.append(("timeout", None))
-            except ReproError:
-                outcomes.append(("error", None))
+    def evaluate(
+        litmus: CLitmus, arch: str, opt: str, compiler: str
+    ) -> Dict[str, object]:
+        return _verdict_record(
+            litmus, arch, opt, compiler, source_model, augment,
+            budget_candidates,
+            lambda: run_cell(litmus, arch, opt, compiler),
+        )
 
-    for (litmus, arch, opt, compiler), (status, result) in zip(work, outcomes):
+    def collect(index: int, record: Dict[str, object]) -> None:
+        """Land one freshly computed verdict — and persist it *now*, so
+        an interrupted campaign resumes from every cell that finished."""
+        records[index] = record
+        if store is not None:
+            store.put(record)
+
+    work = _campaign_cells(tests, arches, opts, compilers)
+    if shard is not None:
+        work = work[shard_k::shard_n]
+
+    # replay whatever the persistent store already knows
+    records: List[Optional[Dict[str, object]]] = [None] * len(work)
+    pending: List[Tuple[int, Tuple[CLitmus, str, str, str]]] = []
+    for index, (litmus, arch, opt, compiler) in enumerate(work):
+        if store is not None and resume:
+            key = cell_key(
+                litmus.digest(), _profile_name(compiler, opt, arch),
+                source_model, augment, budget_candidates,
+            )
+            stored = store.get(key)
+            if stored is not None:
+                records[index] = stored
+                report.store_hits += 1
+                continue
+        pending.append((index, (litmus, arch, opt, compiler)))
+
+    # evaluate the cells the store could not answer.  In the pool
+    # branches an unexpected exception from one cell must not discard the
+    # verdicts of cells that still ran to completion (pool shutdown waits
+    # for them) — collect and persist everything, then re-raise the first
+    # failure.
+    first_error: Optional[BaseException] = None
+    if pending and processes > 0:
+        tasks = [
+            (litmus, arch, opt, compiler, source_model, augment,
+             budget_candidates)
+            for _, (litmus, arch, opt, compiler) in pending
+        ]
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+            futures = [pool.submit(_pool_cell, task) for task in tasks]
+            for (index, (litmus, _, _, _)), future in zip(pending, futures):
+                try:
+                    record = future.result()
+                except Exception as exc:
+                    first_error = first_error if first_error is not None else exc
+                    continue
+                if record.get("source_simulated"):
+                    simulated_sources.add(source_key_of(litmus))
+                collect(index, record)
+    elif pending and workers > 1:
+        # the with-block shuts the pool down even when an unexpected
+        # exception escapes future.result(), so workers never leak
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(evaluate, *item) for _, item in pending]
+            for (index, _), future in zip(pending, futures):
+                try:
+                    record = future.result()
+                except Exception as exc:
+                    first_error = first_error if first_error is not None else exc
+                    continue
+                collect(index, record)
+    else:
+        for index, item in pending:
+            collect(index, evaluate(*item))
+    if first_error is not None:
+        raise first_error
+
+    # tally — in the caller's thread, in work-list order, so reports are
+    # deterministic regardless of executor and parallelism
+    for (litmus, arch, opt, compiler), record in zip(work, records):
         cell = report.cell(arch, opt, compiler)
+        status = record["status"]
         if status == "timeout":
             cell.timeouts += 1
             continue
@@ -343,12 +653,13 @@ def run_campaign(
             cell.errors += 1
             continue
         report.compiled_tests += 1
-        verdict = result.verdict
+        verdict = str(record["verdict"])
         cell.record(verdict)
         if verdict == "positive":
             report.positives.append((litmus.name, arch, opt, compiler))
 
-    report.source_simulations = source_cache.misses - source_misses_before
+    report.source_sim_keys = frozenset(simulated_sources)
+    report.source_simulations = len(report.source_sim_keys)
     report.cached_cells = result_cache.hits - result_hits_before
     report.elapsed_seconds = time.perf_counter() - start
     return report

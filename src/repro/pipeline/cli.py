@@ -22,6 +22,7 @@ from ..herd.enumerate import Budget
 from ..lang.parser import parse_c_litmus
 from ..tools.diy import DiyConfig, build_test, get_shape, shape_names, small_config
 from .campaign import run_campaign
+from .store import CampaignStore
 from .telechat import test_compilation
 
 
@@ -60,15 +61,28 @@ def _cmd_test(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.resume and not args.store:
+        print("--resume needs --store", file=sys.stderr)
+        return 2
     config = small_config() if args.small else DiyConfig()
+    store = CampaignStore(args.store) if args.store else None
     report = run_campaign(
         config=config,
         arches=args.arch or [a for a in ARCHES],
         opts=args.opt or ["-O1", "-O2", "-O3"],
         source_model=args.cmem,
         workers=args.workers,
+        processes=args.processes,
+        store=store,
+        resume=args.resume,
+        shard=args.shard,
     )
     print(report.table())
+    if store is not None:
+        print(
+            f"\nstore {store.path}: {len(store)} verdicts "
+            f"({report.store_hits} replayed, {store.appended} appended)"
+        )
     return 0
 
 
@@ -82,6 +96,22 @@ def _cmd_shapes(args: argparse.Namespace) -> int:
     for name in shape_names():
         print(name)
     return 0
+
+
+def _shard(value: str) -> tuple:
+    """Parse ``K/N`` into a (k, n) shard spec."""
+    try:
+        k_text, n_text = value.split("/", 1)
+        k, n = int(k_text), int(n_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"shard {value!r} is not of the form K/N"
+        )
+    if n < 1 or not 0 <= k < n:
+        raise argparse.ArgumentTypeError(
+            f"shard {value!r} needs 0 <= K < N"
+        )
+    return (k, n)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -112,6 +142,17 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--cmem", default="rc11")
     campaign.add_argument("--workers", type=int, default=1,
                           help="campaign worker threads")
+    campaign.add_argument("--processes", type=int, default=0,
+                          help="campaign worker processes (overrides --workers)")
+    campaign.add_argument("--store", metavar="PATH",
+                          help="persistent verdict store (JSONL, appended)")
+    campaign.add_argument("--resume", action="store_true",
+                          help="replay verdicts already in --store instead "
+                               "of re-simulating")
+    campaign.add_argument("--shard", type=_shard, metavar="K/N",
+                          help="run only the K-th of N cell shards "
+                               "(0-based); merge the shard reports with "
+                               "repro.pipeline.merge_reports")
     campaign.set_defaults(func=_cmd_campaign)
 
     sub.add_parser("models", help="list memory models").set_defaults(

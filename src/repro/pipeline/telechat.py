@@ -15,13 +15,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..asm.litmus import AsmLitmus, total_instructions
 from ..cat.interp import Model
 from ..cat.registry import arch_model, get_model
 from ..compiler.profiles import CompilerProfile
 from ..core.errors import ReproError, SimulationTimeout
+from ..core.execution import Outcome
 from ..herd.enumerate import Budget
 from ..herd.simulator import SimulationResult, simulate_asm, simulate_c
 from ..lang.ast import CLitmus
@@ -29,6 +30,35 @@ from ..tools.c2s import compile_and_disassemble
 from ..tools.l2c import prepare
 from ..tools.mcompare import ComparisonResult, mcompare
 from ..tools.s2l import S2LStats, assembly_to_litmus
+
+
+# --------------------------------------------------------------------------- #
+# record (de)serialisation — the persistent campaign store's currency
+# --------------------------------------------------------------------------- #
+def outcomes_to_jsonable(outcomes: Iterable[Outcome]) -> List[List[List[object]]]:
+    """Serialise an outcome set to a canonical (sorted) JSON-able form."""
+    return sorted([[k, v] for k, v in o.bindings] for o in outcomes)
+
+
+def outcomes_from_jsonable(data: Iterable[Iterable[Sequence[object]]]) -> FrozenSet[Outcome]:
+    """Rebuild an outcome set serialised by :func:`outcomes_to_jsonable`."""
+    return frozenset(
+        Outcome(tuple((str(k), int(v)) for k, v in bindings)) for bindings in data
+    )
+
+
+def comparison_from_record(record: Dict[str, object]) -> ComparisonResult:
+    """Rebuild a :class:`ComparisonResult` from a stored verdict record."""
+    return ComparisonResult(
+        test_name=str(record["test"]),
+        source_model=str(record["source_model"]),
+        target_model=str(record["target_model"]),
+        source_outcomes=outcomes_from_jsonable(record["source_outcomes"]),
+        target_outcomes=outcomes_from_jsonable(record["target_outcomes"]),
+        positive=outcomes_from_jsonable(record["positive"]),
+        negative=outcomes_from_jsonable(record["negative"]),
+        source_has_ub=bool(record["source_has_ub"]),
+    )
 
 
 @dataclass
@@ -62,6 +92,35 @@ class TelechatResult:
     @property
     def compiled_loc(self) -> int:
         return total_instructions(self.compiled)
+
+    def to_record(self) -> Dict[str, object]:
+        """Serialise the verdict and both outcome sets to a JSON-able dict.
+
+        This is the persistent form the campaign store appends: enough to
+        replay the cell's Table IV contribution and the mcompare
+        drill-down without re-simulating, and to rebuild the comparison
+        via :func:`comparison_from_record`.  The heavyweight pieces (the
+        compiled litmus, raw executions) intentionally stay out.
+        """
+        return {
+            "test": self.test_name,
+            "profile": self.profile.name,
+            "verdict": self.verdict,
+            "source_model": self.comparison.source_model,
+            "target_model": self.comparison.target_model,
+            "source_outcomes": outcomes_to_jsonable(self.comparison.source_outcomes),
+            "target_outcomes": outcomes_to_jsonable(self.comparison.target_outcomes),
+            "positive": outcomes_to_jsonable(self.comparison.positive),
+            "negative": outcomes_to_jsonable(self.comparison.negative),
+            "source_has_ub": self.comparison.source_has_ub,
+            "flags": sorted(self.source_result.flags | self.target_result.flags),
+            "compiled_loc": self.compiled_loc,
+            "seconds": {
+                "source": self.source_seconds,
+                "target": self.target_seconds,
+                "compile": self.compile_seconds,
+            },
+        }
 
 
 def test_compilation(
