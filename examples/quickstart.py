@@ -9,9 +9,8 @@ flow of paper Fig. 5.
 Run:  python examples/quickstart.py
 """
 
-from repro.compiler import make_profile
+from repro.api import Session
 from repro.lang import parse_c_litmus
-from repro.pipeline import test_compilation
 
 LITMUS = r"""
 C quickstart_lb
@@ -35,12 +34,13 @@ exists (P0:r0=1 /\ P1:r0=1)
 
 def main() -> None:
     litmus = parse_c_litmus(LITMUS, "quickstart_lb")
-    profile = make_profile("llvm", "-O3", "aarch64")
+    session = Session()
+    profile = session.profile("llvm-O3-AArch64")
 
     print(f"compiler profile : {profile.name}")
     print(f"source model     : rc11   |   target model: aarch64\n")
 
-    result = test_compilation(litmus, profile, source_model="rc11")
+    result = session.test(litmus, profile, source_model="rc11")
     print(result.comparison.pretty())
     print()
     print(f"verdict          : {result.verdict}")
@@ -51,7 +51,7 @@ def main() -> None:
 
     # the ISO C/C++ standard permits load buffering: under rc11+lb the
     # "bug" disappears (it is an RC11-only positive difference)
-    relaxed = test_compilation(litmus, profile, source_model="rc11+lb")
+    relaxed = session.test(litmus, profile, source_model="rc11+lb")
     print(f"\nunder rc11+lb    : {relaxed.verdict} "
           "(ISO C/C++ permits load-to-store reordering)")
 

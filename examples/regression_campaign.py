@@ -15,10 +15,8 @@ Two industry flows on top of the same tool-chain:
 Run:  python examples/regression_campaign.py
 """
 
-from repro.compiler import make_profile
+from repro.api import CampaignPlan, CellFinished, Session
 from repro.core.events import MemoryOrder
-from repro.pipeline import test_compilation
-from repro.pipeline.campaign import ResultCache, SourceSimCache, run_campaign
 from repro.tools.diy import DiyConfig, generate
 
 
@@ -31,20 +29,29 @@ def nightly_campaign() -> None:
         deps=("po", "data", "ctrl2"),
         variants=("load-store",),
     )
-    # one shared cache pair for the whole nightly run: each test's
-    # source side is simulated once per source model, and a re-run of an
+    # one session for the whole nightly run: its caches simulate each
+    # test's source side once per source model, and a re-run of an
     # unchanged cell is free
-    source_cache, result_cache = SourceSimCache(), ResultCache()
-    report = run_campaign(
+    session = Session()
+    plan = CampaignPlan(
         config=config,
         arches=("aarch64", "armv7", "riscv64", "ppc64", "x86_64", "mips64"),
         opts=("-O1", "-O2"),
         compilers=("llvm", "gcc"),
         source_model="rc11",
         workers=4,
-        source_cache=source_cache,
-        result_cache=result_cache,
     )
+    # consume the event stream live — a dashboard would ingest these;
+    # stream.report() folds whatever ran into the batch Table IV
+    stream = session.campaign(plan)
+    first_bug = None
+    for event in stream:
+        if (first_bug is None and isinstance(event, CellFinished)
+                and event.verdict == "positive"):
+            first_bug = event
+            print(f"first positive streamed in: {event.test} "
+                  f"{event.compiler}{event.opt} -> {event.arch}\n")
+    report = stream.report()
     print(report.table())
     print(f"\nsource simulations: {report.source_simulations} "
           f"for {report.compiled_tests} cells "
@@ -53,15 +60,15 @@ def nightly_campaign() -> None:
     for test, arch, opt, compiler in report.positives[:8]:
         print(f"  {test:12s} {compiler}{opt} -> {arch}")
     print("\nre-run under rc11+lb (ISO C/C++ permits load buffering):")
-    relaxed = run_campaign(
-        config=config,
-        arches=("aarch64", "armv7", "riscv64", "ppc64"),
-        opts=("-O1", "-O2"),
-        compilers=("llvm", "gcc"),
-        source_model="rc11+lb",
-        workers=4,
-        source_cache=source_cache,
-        result_cache=result_cache,
+    relaxed = session.run(
+        CampaignPlan(
+            config=config,
+            arches=("aarch64", "armv7", "riscv64", "ppc64"),
+            opts=("-O1", "-O2"),
+            compilers=("llvm", "gcc"),
+            source_model="rc11+lb",
+            workers=4,
+        )
     )
     print(f"  positive differences: {relaxed.total_positive()} "
           "(all vanish — artefact Claim 4)")
@@ -76,13 +83,16 @@ def ldapr_proposal() -> None:
         deps=("po", "data"),
         variants=("load-store",),
     ))
+    from repro.compiler import make_profile
+
+    session = Session()
     ldar = make_profile("llvm", "-O2", "aarch64", rcpc=False)
     ldapr = make_profile("llvm", "-O2", "aarch64", rcpc=True)
     positives = 0
     weaker = 0
     for litmus in suite:
-        baseline = test_compilation(litmus, ldar)
-        proposal = test_compilation(litmus, ldapr)
+        baseline = session.test(litmus, ldar)
+        proposal = session.test(litmus, ldapr)
         if proposal.found_bug:
             positives += 1
         if (baseline.comparison.target_outcomes

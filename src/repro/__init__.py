@@ -3,7 +3,10 @@
 The T´el´echat compiler-testing technique and every substrate it depends
 on, in pure Python:
 
-* :mod:`repro.core` — events, relations, executions, litmus conditions;
+* :mod:`repro.api` — the supported surface: sessions, campaign plans,
+  the streaming campaign engine and its typed events;
+* :mod:`repro.core` — events, relations, executions, litmus conditions,
+  and the generic registry protocol;
 * :mod:`repro.cat` — the Cat model language and the shipped memory models;
 * :mod:`repro.lang` — the C11 litmus front-end;
 * :mod:`repro.herd` — the axiomatic simulator;
@@ -17,9 +20,8 @@ on, in pure Python:
 
 Entry points:
 
+>>> from repro.api import CampaignPlan, Session
 >>> from repro.lang import parse_c_litmus
->>> from repro.compiler import make_profile
->>> from repro.pipeline import test_compilation
 """
 
 __version__ = "1.0.0"

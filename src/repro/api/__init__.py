@@ -1,0 +1,42 @@
+"""``repro.api`` — the supported way to drive the system.
+
+* :class:`Session` — owns per-session registries (models, shapes, ISAs,
+  compiler epochs, baselines — as overlays over the shipped globals),
+  caches, budgets and an optional persistent store;
+* :class:`CampaignPlan` — the frozen, validated campaign description
+  that replaced ``run_campaign``'s sixteen keyword arguments;
+* the typed event stream — :meth:`Session.campaign` yields
+  :class:`CampaignStarted`, :class:`CellFinished`, :class:`ShardMerged`
+  and :class:`CampaignFinished`; :func:`fold_events` folds any complete
+  stream back into the batch :class:`~repro.pipeline.campaign.CampaignReport`.
+
+The legacy module-level entry points (``run_campaign``,
+``test_compilation``) survive as deprecation shims over this package —
+see the README's deprecation policy.
+"""
+
+from .engine import CampaignStream, fold_events, iter_campaign, iter_sharded
+from .events import (
+    CampaignEvent,
+    CampaignFinished,
+    CampaignStarted,
+    CellFinished,
+    ShardMerged,
+)
+from .plan import CampaignPlan, PlanError
+from .session import Session
+
+__all__ = [
+    "CampaignEvent",
+    "CampaignFinished",
+    "CampaignPlan",
+    "CampaignStarted",
+    "CampaignStream",
+    "CellFinished",
+    "PlanError",
+    "Session",
+    "ShardMerged",
+    "fold_events",
+    "iter_campaign",
+    "iter_sharded",
+]

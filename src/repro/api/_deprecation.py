@@ -1,0 +1,31 @@
+"""Deprecation plumbing for the legacy entry-point shims.
+
+Policy (see README "Deprecation policy"): legacy entry points keep
+working for external callers for at least two releases, emitting
+:class:`DeprecationWarning`; *internal* code may never call them — a
+shim invoked from inside :mod:`repro` raises immediately, which is how
+CI keeps the tree honest without a linter.
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+
+
+def warn_deprecated(old: str, new: str) -> None:
+    """Warn that ``old`` is deprecated in favour of ``new``.
+
+    External callers get a :class:`DeprecationWarning` pointing at their
+    call site.  Callers inside the ``repro`` package get the warning
+    *promoted to an error*: the supported surface is :mod:`repro.api`,
+    and internal layers must not route through the shims they deprecate.
+    """
+    message = f"{old} is deprecated; use {new} (README: deprecation policy)"
+    caller = sys._getframe(2).f_globals.get("__name__", "")
+    if caller == "repro" or caller.startswith("repro."):
+        raise DeprecationWarning(
+            f"{message} — DeprecationWarning promoted to an error inside "
+            f"repro (internal code must use repro.api, from {caller})"
+        )
+    warnings.warn(message, DeprecationWarning, stacklevel=3)

@@ -1,0 +1,479 @@
+"""The streaming campaign engine: cell producers feeding a typed event stream.
+
+This is the old ``run_campaign`` body rebuilt as a producer: the serial,
+thread-pool and process-pool backends all *yield* :class:`CellFinished`
+events as verdicts land (completion order, not work-list order), and
+:func:`fold_events` reconstructs the deterministic
+:class:`~repro.pipeline.campaign.CampaignReport` — byte-for-byte what the
+batch API returned — from any complete stream.
+
+Extension surface note: the executors and the per-cell tool-chain entry
+are late-bound through :mod:`repro.pipeline.campaign`'s namespace
+(``campaign.ThreadPoolExecutor``, ``campaign.ProcessPoolExecutor``,
+``campaign.test_compilation``), which has always been the place tests and
+embedders swap them.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import as_completed
+from dataclasses import replace
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..cat.registry import ARCH_MODEL
+from ..compiler.profiles import DEFAULT_VERSION, make_profile
+from ..core.errors import ModelError, ReproError
+from ..herd.enumerate import Budget
+from ..herd.simulator import SimulationResult, simulate_c
+from ..lang.ast import CLitmus
+from ..pipeline import campaign as campaign_mod
+from ..pipeline.campaign import (
+    CampaignReport,
+    SourceSimCache,
+    _campaign_cells,
+    _profile_name,
+    _verdict_record,
+    merge_reports,
+)
+from ..pipeline.store import cell_key
+from ..tools.l2c import prepare
+from .events import (
+    CampaignEvent,
+    CampaignFinished,
+    CampaignStarted,
+    CellFinished,
+    ShardMerged,
+)
+from .plan import CampaignPlan, PlanError
+
+#: one work item: (test, arch, opt, compiler)
+Cell = Tuple[CLitmus, str, str, str]
+
+#: per-process source caches for the ProcessPoolExecutor backend, keyed by
+#: the campaign parameters that change a source simulation.
+_WORKER_SOURCE_CACHES: Dict[Tuple, SourceSimCache] = {}
+
+
+def _pool_cell(task: Tuple) -> Dict[str, object]:
+    """Evaluate one campaign cell in a worker process.
+
+    Runs the same tool-chain as the in-process path but returns a
+    JSON-able verdict record instead of a ``TelechatResult`` — the record
+    is the cross-process (and on-disk) currency.  Each worker process
+    keeps its own source cache; the parent de-duplicates source
+    simulations across workers by cache key.  Worker processes resolve
+    models against the *global* registries — session overlays do not
+    cross the process boundary (the session refuses to try).
+    """
+    litmus, arch, opt, compiler, source_model, augment, budget_candidates = task
+    cache = _WORKER_SOURCE_CACHES.setdefault(
+        (source_model, augment, budget_candidates), SourceSimCache()
+    )
+    source_key = (litmus.digest(), source_model, augment, budget_candidates)
+
+    def produce_result():
+        source_result = cache.get(
+            source_key,
+            lambda: simulate_c(
+                prepare(litmus, augment=augment),
+                source_model,
+                budget=Budget(max_candidates=budget_candidates),
+            ),
+        )
+        return campaign_mod.test_compilation(
+            litmus,
+            make_profile(compiler, opt, arch),
+            source_model=source_model,
+            augment=augment,
+            budget=Budget(max_candidates=budget_candidates),
+            source_result=source_result,
+        )
+
+    misses_before = cache.misses
+    record = _verdict_record(
+        litmus, arch, opt, compiler, source_model, augment, budget_candidates,
+        produce_result,
+    )
+    record["source_simulated"] = cache.misses > misses_before
+    return record
+
+
+def iter_campaign(plan: CampaignPlan, session) -> Iterator[CampaignEvent]:
+    """Run ``plan`` inside ``session``, yielding events as cells finish.
+
+    Validation and work-list construction happen eagerly (errors raise
+    here, not at first ``next()``); simulation happens lazily as the
+    returned stream is consumed.
+    """
+    if plan.resume and session.store is None:
+        raise PlanError("resume=True needs a store to resume from")
+    if plan.processes > 0 and session.caches_explicit:
+        raise PlanError(
+            "in-memory source/result caches are not shared with worker "
+            "processes; persist across process-pool campaigns with a store"
+        )
+    local = sorted(
+        session.local_model_names(plan) | session.local_epoch_names(plan)
+    )
+    if local and plan.processes > 0:
+        raise PlanError(
+            f"session-registered definitions {local} are not visible to "
+            f"worker processes; register them globally or use thread "
+            f"workers"
+        )
+    if local and session.store is not None:
+        # store records key verdicts by model/profile *name* (the PR 2
+        # on-disk format) — a session-local definition behind one of
+        # those names would poison, or replay poison from, the store
+        raise PlanError(
+            f"session-registered definitions {local} cannot be keyed in "
+            f"a persistent store (records key by name); register them "
+            f"globally or run this session without a store"
+        )
+
+    tests = plan.resolve_tests(shapes=session.shapes)
+    store = session.store
+    source_cache = session.source_cache
+    result_cache = session.result_cache
+    source_model = plan.source_model
+    augment = plan.augment
+    budget_candidates = plan.budget_candidates
+
+    work: List[Cell] = _campaign_cells(
+        tests, plan.arches, plan.opts, plan.compilers
+    )
+    if plan.shard is not None:
+        shard_k, shard_n = plan.shard
+        work = work[shard_k::shard_n]
+
+    start = time.perf_counter()
+    result_hits_before = result_cache.hits
+
+    # cache identity includes what the model *names* resolve to in this
+    # session (the PR 2 rule — content, never names alone), so a session
+    # that shadows "rc11" can never replay verdicts computed under the
+    # global rc11, and shared cross-session caches stay sound.  An
+    # unresolvable name contributes no identity: it surfaces as per-cell
+    # error records, the legacy behaviour, not an up-front abort.
+    def model_sig(name: str) -> str:
+        try:
+            return session.model_signature(name)
+        except ModelError:
+            return ""
+
+    source_sig = model_sig(source_model)
+    arch_sigs: Dict[str, str] = {}
+
+    def arch_sig(arch: str) -> str:
+        if arch not in arch_sigs:
+            arch_sigs[arch] = (
+                model_sig(ARCH_MODEL[arch]) if arch in ARCH_MODEL else ""
+            )
+        return arch_sigs[arch]
+
+    # ...and likewise for compiler epochs: the bug set behind a profile
+    # *name* is part of a verdict's identity (profile names carry no
+    # version), so a session re-run after epochs.register() re-simulates
+    epoch_sigs: Dict[str, str] = {}
+
+    def epoch_sig(compiler: str) -> str:
+        if compiler not in epoch_sigs:
+            try:
+                flags = session.epochs.get(
+                    f"{compiler}-{DEFAULT_VERSION[compiler]}"
+                )
+                epoch_sigs[compiler] = "|".join(sorted(flags))
+            except (KeyError, ReproError):
+                epoch_sigs[compiler] = ""
+        return epoch_sigs[compiler]
+
+    #: source-simulation keys actually produced during *this* run
+    simulated_sources: set = set()
+
+    def source_key_of(litmus: CLitmus) -> Tuple:
+        return (litmus.digest(), source_model, source_sig, augment,
+                budget_candidates)
+
+    def simulate_source(litmus: CLitmus) -> SimulationResult:
+        key = source_key_of(litmus)
+
+        def produce() -> SimulationResult:
+            simulated_sources.add(key)
+            return simulate_c(
+                prepare(litmus, augment=augment),
+                session.model(source_model),
+                budget=Budget(max_candidates=budget_candidates),
+            )
+
+        return source_cache.get(key, produce)
+
+    def run_cell(litmus: CLitmus, arch: str, opt: str, compiler: str):
+        # the session's epoch overlay decides which compiler bugs this
+        # cell simulates (private epochs are process/store-guarded above)
+        profile = make_profile(compiler, opt, arch, epochs=session.epochs)
+        return result_cache.get(
+            (litmus.digest(), profile.name, source_model, source_sig,
+             arch_sig(arch), epoch_sig(compiler), augment,
+             budget_candidates),
+            lambda: campaign_mod.test_compilation(
+                litmus,
+                profile,
+                source_model=session.model(source_model),
+                target_model=session.arch_model(profile.arch),
+                augment=augment,
+                budget=Budget(max_candidates=budget_candidates),
+                source_result=simulate_source(litmus),
+            ),
+        )
+
+    def evaluate(
+        litmus: CLitmus, arch: str, opt: str, compiler: str
+    ) -> Dict[str, object]:
+        return _verdict_record(
+            litmus, arch, opt, compiler, source_model, augment,
+            budget_candidates,
+            lambda: run_cell(litmus, arch, opt, compiler),
+        )
+
+    # replay whatever the persistent store already knows (eager: cheap,
+    # and the CampaignStarted event reports exact pending counts)
+    replayed: List[Tuple[int, Cell, Dict[str, object]]] = []
+    pending: List[Tuple[int, Cell]] = []
+    for index, (litmus, arch, opt, compiler) in enumerate(work):
+        if store is not None and plan.resume:
+            key = cell_key(
+                litmus.digest(), _profile_name(compiler, opt, arch),
+                source_model, augment, budget_candidates,
+            )
+            stored = store.get(key)
+            if stored is not None:
+                replayed.append((index, (litmus, arch, opt, compiler), stored))
+                continue
+        pending.append((index, (litmus, arch, opt, compiler)))
+
+    def cell_event(
+        index: int, item: Cell, record: Dict[str, object], from_store: bool
+    ) -> CellFinished:
+        litmus, arch, opt, compiler = item
+        return CellFinished(
+            index=index,
+            test=litmus.name,
+            digest=str(record.get("digest", "")),
+            arch=arch,
+            opt=opt,
+            compiler=compiler,
+            record=record,
+            from_store=from_store,
+            shard=plan.shard,
+        )
+
+    def events() -> Iterator[CampaignEvent]:
+        ok_cells = 0
+        yield CampaignStarted(
+            source_model=source_model,
+            tests_input=len(tests),
+            cells_total=len(work),
+            pending=len(pending),
+            workers=plan.workers,
+            processes=plan.processes,
+            shard=plan.shard,
+        )
+        for index, item, record in replayed:
+            if record.get("status") == "ok":
+                ok_cells += 1
+            yield cell_event(index, item, record, True)
+
+        def finish(
+            index: int, item: Cell, record: Dict[str, object]
+        ) -> CellFinished:
+            """Land one freshly computed verdict — persisting it *now*,
+            so an interrupted campaign resumes from every finished cell."""
+            nonlocal ok_cells
+            if store is not None:
+                store.put(record)
+            if record.get("status") == "ok":
+                ok_cells += 1
+            return cell_event(index, item, record, False)
+
+        # evaluate the cells the store could not answer.  In the pool
+        # branches an unexpected exception from one cell must not discard
+        # the verdicts of cells that still ran to completion (pool
+        # shutdown waits for them) — stream and persist everything, then
+        # re-raise the first failure.
+        first_error: Optional[BaseException] = None
+        if pending and plan.processes > 0:
+            with campaign_mod.ProcessPoolExecutor(
+                max_workers=plan.processes
+            ) as pool:
+                future_map = {}
+                try:
+                    for index, item in pending:
+                        litmus, arch, opt, compiler = item
+                        task = (litmus, arch, opt, compiler, source_model,
+                                augment, budget_candidates)
+                        future_map[pool.submit(_pool_cell, task)] = (index, item)
+                    for future in as_completed(future_map):
+                        index, item = future_map[future]
+                        try:
+                            record = future.result()
+                        except Exception as exc:
+                            first_error = first_error if first_error is not None else exc
+                            continue
+                        if record.get("source_simulated"):
+                            simulated_sources.add(source_key_of(item[0]))
+                        yield finish(index, item, record)
+                finally:
+                    # a consumer that abandons the stream early (fuzzing
+                    # loops break at the first positive) must not pay for
+                    # the whole campaign: cancel everything still queued,
+                    # so pool shutdown only waits for the cells already
+                    # running.  A no-op when the stream was drained.
+                    for future in future_map:
+                        future.cancel()
+        elif pending and plan.workers > 1:
+            # the with-block shuts the pool down even when an unexpected
+            # exception escapes future.result(), so workers never leak
+            with campaign_mod.ThreadPoolExecutor(
+                max_workers=plan.workers
+            ) as pool:
+                future_map = {
+                    pool.submit(evaluate, *item): (index, item)
+                    for index, item in pending
+                }
+                try:
+                    for future in as_completed(future_map):
+                        index, item = future_map[future]
+                        try:
+                            record = future.result()
+                        except Exception as exc:
+                            first_error = first_error if first_error is not None else exc
+                            continue
+                        yield finish(index, item, record)
+                finally:
+                    for future in future_map:  # see the process branch
+                        future.cancel()
+        else:
+            for index, item in pending:
+                yield finish(index, item, evaluate(*item))
+        if first_error is not None:
+            raise first_error
+
+        yield CampaignFinished(
+            source_model=source_model,
+            compiled_tests=ok_cells,
+            elapsed_seconds=time.perf_counter() - start,
+            source_sim_keys=frozenset(simulated_sources),
+            cached_cells=result_cache.hits - result_hits_before,
+            store_hits=len(replayed),
+        )
+
+    return events()
+
+
+def iter_sharded(
+    plan: CampaignPlan, session, shards: int
+) -> Iterator[CampaignEvent]:
+    """Run every shard of ``plan`` through ``session`` sequentially,
+    yielding each shard's events plus a :class:`ShardMerged` checkpoint
+    after each — the streaming form of run-shards-then-``merge_reports``.
+    """
+    # resolve the test list once: every shard partitions the same
+    # materialised suite instead of re-running diy generation per shard
+    resolved = replace(
+        plan, tests=plan.resolve_tests(shapes=session.shapes), config=None
+    )
+    sub_plans = resolved.split(shards)
+
+    def events() -> Iterator[CampaignEvent]:
+        for sub in sub_plans:
+            stream = CampaignStream(iter_campaign(sub, session))
+            for event in stream:
+                yield event
+            yield ShardMerged(shard=sub.shard, report=stream.report())
+
+    return events()
+
+
+def fold_events(events: Iterable[CampaignEvent]) -> CampaignReport:
+    """Fold a complete event stream back into the batch report.
+
+    The reconstruction is exact: cells are tallied in work-list order
+    (events carry their index, so any completion order folds the same),
+    and the aggregates only the run can know come from
+    :class:`CampaignFinished`.  A stream containing :class:`ShardMerged`
+    checkpoints folds through :func:`merge_reports` instead.
+    """
+    started: Optional[CampaignStarted] = None
+    finished: Optional[CampaignFinished] = None
+    cells: List[CellFinished] = []
+    shard_reports: List[CampaignReport] = []
+    for event in events:
+        if isinstance(event, CellFinished):
+            cells.append(event)
+        elif isinstance(event, ShardMerged):
+            shard_reports.append(event.report)
+        elif isinstance(event, CampaignStarted):
+            started = started if started is not None else event
+        elif isinstance(event, CampaignFinished):
+            finished = event
+    if shard_reports:
+        return merge_reports(shard_reports)
+    if started is None or finished is None:
+        raise ValueError(
+            "cannot fold an incomplete campaign stream (missing "
+            "CampaignStarted/CampaignFinished)"
+        )
+    report = CampaignReport(
+        source_model=started.source_model,
+        workers=started.workers,
+        processes=started.processes,
+        shard=started.shard,
+    )
+    report.tests_input = started.tests_input
+    for event in sorted(cells, key=lambda e: e.index):
+        cell = report.cell(event.arch, event.opt, event.compiler)
+        status = event.record["status"]
+        if status == "timeout":
+            cell.timeouts += 1
+            continue
+        if status == "error":
+            cell.errors += 1
+            continue
+        report.compiled_tests += 1
+        verdict = str(event.record["verdict"])
+        cell.record(verdict)
+        if verdict == "positive":
+            report.positives.append(
+                (event.test, event.arch, event.opt, event.compiler)
+            )
+    report.source_sim_keys = finished.source_sim_keys
+    report.source_simulations = len(finished.source_sim_keys)
+    report.cached_cells = finished.cached_cells
+    report.store_hits = finished.store_hits
+    report.elapsed_seconds = finished.elapsed_seconds
+    return report
+
+
+class CampaignStream:
+    """An iterator of campaign events that can fold itself into a report.
+
+    Iterate it for live events; call :meth:`report` at any point to drain
+    whatever remains and get the batch :class:`CampaignReport`.  Events
+    already consumed are remembered, so iterate-then-fold never loses
+    cells.
+    """
+
+    def __init__(self, events: Iterator[CampaignEvent]) -> None:
+        self._events = events
+        self._seen: List[CampaignEvent] = []
+
+    def __iter__(self) -> Iterator[CampaignEvent]:
+        for event in self._events:
+            self._seen.append(event)
+            yield event
+
+    def report(self) -> CampaignReport:
+        for _ in self:
+            pass  # drain whatever the consumer has not pulled yet
+        return fold_events(self._seen)

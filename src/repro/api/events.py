@@ -1,0 +1,155 @@
+"""Typed campaign events — the streaming currency of :meth:`Session.campaign`.
+
+A campaign is no longer only an end-of-run batch report: the engine
+*yields* these events as cells finish, so progress UIs, early-exit
+fuzzing loops, and services can react mid-run.  The stream grammar is::
+
+    CampaignStarted (CellFinished | ShardMerged)* CampaignFinished
+
+and :func:`repro.api.fold_events` folds any complete stream back into the
+legacy :class:`~repro.pipeline.campaign.CampaignReport`, byte-for-byte
+identical to what ``run_campaign`` used to return.
+
+Every event is a frozen dataclass with an :meth:`as_dict` JSON projection
+(the CLI's ``--json`` output is exactly one event per line).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+from ..pipeline.campaign import CampaignReport
+
+
+@dataclass(frozen=True)
+class CampaignEvent:
+    """Base class of everything a campaign stream yields."""
+
+    #: the JSON ``event`` discriminator, overridden per subclass.
+    kind = "event"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"event": self.kind}
+
+
+@dataclass(frozen=True)
+class CampaignStarted(CampaignEvent):
+    """The work list is fixed: sizes, parallelism and shard are known."""
+
+    kind = "campaign_started"
+
+    source_model: str = "rc11"
+    tests_input: int = 0
+    #: total cells in this (possibly sharded) run's work list
+    cells_total: int = 0
+    #: cells that will actually run (the rest replay from the store)
+    pending: int = 0
+    workers: int = 1
+    processes: int = 0
+    shard: Optional[Tuple[int, int]] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "event": self.kind,
+            "source_model": self.source_model,
+            "tests_input": self.tests_input,
+            "cells_total": self.cells_total,
+            "pending": self.pending,
+            "workers": self.workers,
+            "processes": self.processes,
+            "shard": list(self.shard) if self.shard else None,
+        }
+
+
+@dataclass(frozen=True)
+class CellFinished(CampaignEvent):
+    """One (test × arch × opt × compiler) cell has a verdict record."""
+
+    kind = "cell_finished"
+
+    #: position in the deterministic work list — folding sorts on this,
+    #: so events may arrive in any completion order
+    index: int = 0
+    test: str = ""
+    digest: str = ""
+    arch: str = ""
+    opt: str = ""
+    compiler: str = ""
+    #: the full verdict record (the store/process-pool currency)
+    record: Mapping[str, object] = field(default_factory=dict)
+    #: True when replayed from the persistent store, not re-simulated
+    from_store: bool = False
+    shard: Optional[Tuple[int, int]] = None
+
+    @property
+    def status(self) -> str:
+        return str(self.record.get("status", ""))
+
+    @property
+    def verdict(self) -> Optional[str]:
+        value = self.record.get("verdict")
+        return None if value is None else str(value)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "event": self.kind,
+            "index": self.index,
+            "test": self.test,
+            "digest": self.digest,
+            "arch": self.arch,
+            "opt": self.opt,
+            "compiler": self.compiler,
+            "from_store": self.from_store,
+            "shard": list(self.shard) if self.shard else None,
+            "record": dict(self.record),
+        }
+
+
+@dataclass(frozen=True)
+class ShardMerged(CampaignEvent):
+    """One shard of a :meth:`Session.campaign_sharded` run completed and
+    was folded into the running merge."""
+
+    kind = "shard_merged"
+
+    shard: Tuple[int, int] = (0, 1)
+    report: CampaignReport = field(default_factory=lambda: CampaignReport(""))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "event": self.kind,
+            "shard": list(self.shard),
+            "report": self.report.to_jsonable(),
+        }
+
+
+@dataclass(frozen=True)
+class CampaignFinished(CampaignEvent):
+    """End of stream: the aggregates only the whole run can know."""
+
+    kind = "campaign_finished"
+
+    source_model: str = "rc11"
+    compiled_tests: int = 0
+    elapsed_seconds: float = 0.0
+    #: distinct source-simulation cache keys produced by this run —
+    #: carried (not just counted) so shard merges can de-duplicate
+    source_sim_keys: FrozenSet[Tuple] = frozenset()
+    cached_cells: int = 0
+    store_hits: int = 0
+
+    @property
+    def source_simulations(self) -> int:
+        return len(self.source_sim_keys)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "event": self.kind,
+            "source_model": self.source_model,
+            "compiled_tests": self.compiled_tests,
+            "elapsed_seconds": self.elapsed_seconds,
+            "source_simulations": self.source_simulations,
+            "cached_cells": self.cached_cells,
+            "store_hits": self.store_hits,
+        }

@@ -1,0 +1,130 @@
+"""The frozen, validated campaign plan.
+
+``run_campaign`` grew sixteen loose keyword arguments across PRs 1 and 2;
+:class:`CampaignPlan` absorbs them into one immutable value that is
+validated *once*, up front — bad shards, impossible opt levels or
+process/cache combinations fail before any simulation starts, with
+did-you-mean quality errors instead of a half-finished campaign.
+
+Plans are plain data: hashable-free (tests are unhashable lists) but
+frozen, shareable between sessions, and splittable into deterministic
+shards (:meth:`CampaignPlan.split`) whose streams merge back into the
+single-run Table IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from ..core.errors import ReproError
+from ..lang.ast import CLitmus
+from ..tools.diy import DiyConfig, generate
+
+#: Table IV's row order — the default campaign sweep.
+DEFAULT_ARCHES = ("aarch64", "armv7", "riscv64", "ppc64", "x86_64", "mips64")
+
+
+class PlanError(ReproError, ValueError):
+    """A campaign plan failed validation.
+
+    Subclasses :class:`ValueError` so callers of the legacy
+    ``run_campaign`` shim keep catching what they always caught.
+    """
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """Everything one campaign run needs, validated at construction."""
+
+    #: pre-generated tests; when ``None``, ``config`` drives generation
+    tests: Optional[Tuple[CLitmus, ...]] = None
+    #: diy generation config (defaults to ``DiyConfig()`` when both are None)
+    config: Optional[DiyConfig] = None
+    arches: Tuple[str, ...] = DEFAULT_ARCHES
+    opts: Tuple[str, ...] = ("-O1", "-O2", "-O3")
+    compilers: Tuple[str, ...] = ("llvm", "gcc")
+    source_model: str = "rc11"
+    budget_candidates: int = 400_000
+    augment: bool = True
+    #: worker threads (in-process caches shared)
+    workers: int = 1
+    #: worker processes (> 0 overrides ``workers``)
+    processes: int = 0
+    #: run only the k-th of n deterministic cell partitions
+    shard: Optional[Tuple[int, int]] = None
+    #: replay verdicts already in the session's store
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        # coerce the sequence fields so list-passing callers still freeze
+        for name in ("tests", "arches", "opts", "compilers"):
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+        if self.shard is not None and not isinstance(self.shard, tuple):
+            object.__setattr__(self, "shard", tuple(self.shard))
+
+        if self.workers < 1:
+            raise PlanError(f"workers must be >= 1, got {self.workers}")
+        if self.processes < 0:
+            raise PlanError(f"processes must be >= 0, got {self.processes}")
+        if self.budget_candidates < 1:
+            raise PlanError(
+                f"budget_candidates must be >= 1, got {self.budget_candidates}"
+            )
+        # NOTE: arch/compiler/opt *membership* is deliberately not
+        # validated here — at campaign scale an unbuildable profile is an
+        # error *cell*, never a campaign abort (and a session may carry
+        # profiles the global tables don't know).  Only structural
+        # mistakes that would silently run the wrong campaign fail fast.
+        if not self.arches:
+            raise PlanError("a plan needs at least one architecture")
+        if not self.compilers:
+            raise PlanError("a plan needs at least one compiler")
+        if not self.opts:
+            raise PlanError("a plan needs at least one optimisation level")
+        if self.shard is not None:
+            shard_k, shard_n = self.shard
+            if shard_n < 1 or not (0 <= shard_k < shard_n):
+                raise PlanError(f"bad shard {self.shard!r}: need 0 <= k < n")
+
+    # ------------------------------------------------------------------ #
+    def resolve_tests(self, shapes=None) -> Tuple[CLitmus, ...]:
+        """The concrete test list (generating from ``config`` if needed).
+
+        ``shapes`` is the shape registry config names resolve against —
+        the engine passes the session's overlay, so plans can name
+        session-private shapes."""
+        if self.tests is not None:
+            return self.tests
+        return tuple(generate(self.config or DiyConfig(), shapes=shapes))
+
+    def split(self, n: int) -> Tuple["CampaignPlan", ...]:
+        """The n deterministic shard plans of this (unsharded) plan."""
+        if self.shard is not None:
+            raise PlanError(f"plan is already the {self.shard!r} shard")
+        if n < 1:
+            raise PlanError(f"cannot split into {n} shards")
+        return tuple(replace(self, shard=(k, n)) for k in range(n))
+
+    def with_model(self, source_model: str) -> "CampaignPlan":
+        """The same sweep under a different source model (Claim 4 re-runs)."""
+        return replace(self, source_model=source_model)
+
+    def describe(self) -> Dict[str, object]:
+        """A JSON-able summary (no test bodies — those can be huge)."""
+        return {
+            "tests": None if self.tests is None else len(self.tests),
+            "config": None if self.config is None else self.config.__class__.__name__,
+            "arches": list(self.arches),
+            "opts": list(self.opts),
+            "compilers": list(self.compilers),
+            "source_model": self.source_model,
+            "budget_candidates": self.budget_candidates,
+            "augment": self.augment,
+            "workers": self.workers,
+            "processes": self.processes,
+            "shard": list(self.shard) if self.shard else None,
+            "resume": self.resume,
+        }

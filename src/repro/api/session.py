@@ -1,0 +1,240 @@
+"""The session: the embeddable, state-owning entry point to the system.
+
+A :class:`Session` owns what used to be process-global mutable state —
+model/shape/ISA/epoch/baseline registries (as per-session overlays over
+the shipped globals), the source-simulation and result caches, a default
+budget, and an optional persistent :class:`CampaignStore`.  Two sessions
+never trample each other: a service can hold one per tenant, each with
+private models and profiles, over one shared process.
+
+    >>> from repro.api import CampaignPlan, Session
+    >>> session = Session()
+    >>> result = session.test(litmus, "llvm-O3-AArch64")
+    >>> for event in session.campaign(CampaignPlan(config=my_config)):
+    ...     print(event.as_dict())
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, Optional, Set, Union
+
+from ..asm.isa.base import ISAS, Isa, ensure_registered
+from ..baselines.registry import BASELINES
+from ..cat.interp import Model
+from ..cat.registry import ARCH_MODEL, MODELS, model_signature, resolve_model
+from ..compiler.profiles import (
+    DEFAULT_VERSION,
+    EPOCHS,
+    CompilerProfile,
+    make_profile,
+    parse_profile,
+)
+from ..core.errors import ModelError
+from ..herd.enumerate import Budget
+from ..lang.ast import CLitmus
+from ..pipeline.campaign import CampaignReport, ResultCache, SourceSimCache
+from ..pipeline.store import CampaignStore
+from ..pipeline.telechat import TelechatResult, run_test_tv
+from ..tools.diy import SHAPES, Shape
+from .engine import CampaignStream, iter_campaign, iter_sharded
+from .events import CampaignEvent
+from .plan import CampaignPlan
+
+
+class Session:
+    """Session-scoped registries, caches, budgets and storage.
+
+    Args:
+        store: a :class:`CampaignStore` (or a path to one) that campaigns
+            run in this session persist verdicts to and resume from.
+        budget_candidates: default enumeration budget for
+            :meth:`test` calls that pass no explicit budget
+            (``None`` = unbudgeted, the engine default).
+        source_cache / result_cache: share caches *across* sessions (a
+            re-run service); by default each session gets fresh ones.
+    """
+
+    def __init__(
+        self,
+        *,
+        store: Optional[Union[str, "os.PathLike[str]", CampaignStore]] = None,
+        budget_candidates: Optional[int] = None,
+        source_cache: Optional[SourceSimCache] = None,
+        result_cache: Optional[ResultCache] = None,
+    ) -> None:
+        #: per-session registry overlays — register here without
+        #: touching the process-global tables
+        ensure_registered()  # ISA registration is an import side effect
+        self.models = MODELS.overlay()
+        self.shapes = SHAPES.overlay()
+        self.isas = ISAS.overlay()
+        self.epochs = EPOCHS.overlay()
+        self.baselines = BASELINES.overlay()
+
+        self.caches_explicit = (
+            source_cache is not None or result_cache is not None
+        )
+        self.source_cache = (
+            source_cache if source_cache is not None else SourceSimCache()
+        )
+        self.result_cache = (
+            result_cache if result_cache is not None else ResultCache()
+        )
+        if store is not None and not isinstance(store, CampaignStore):
+            store = CampaignStore(store)
+        self.store: Optional[CampaignStore] = store
+        self.budget_candidates = budget_candidates
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def register_model(self, name: str, source: str, **meta: object) -> str:
+        """Register a private Cat model for this session only."""
+        self.models.register(name, source, **meta)
+        return self.models.resolve(name)
+
+    def register_shape(self, shape: Shape, **meta: object) -> Shape:
+        """Register a private litmus shape for this session only.
+
+        Campaign plans run through this session can name it in their
+        ``DiyConfig.shapes`` — test generation resolves against the
+        session overlay (and generated tests cross the process boundary
+        as values, so this works under every backend)."""
+        return self.shapes.register(shape.name, shape, display=shape.name,
+                                    threads=len(shape.threads), **meta)
+
+    def register_isa(self, isa: Isa, **meta: object) -> Isa:
+        """Register an ISA in this session's overlay.
+
+        Scope note: the overlay currently feeds :meth:`isa` lookups and
+        inventory listings only — the compile/disassemble/s2l tool-chain
+        still resolves architectures through the global registry
+        (threading the overlay through c2s/s2l is future work), so a
+        session-local ISA does not change what :meth:`test` compiles.
+        """
+        return self.isas.register(isa.name, isa, **meta)
+
+    def register_baseline(self, name: str, check: Callable, **meta: object) -> Callable:
+        return self.baselines.register(name, check, **meta)
+
+    # ------------------------------------------------------------------ #
+    # resolution (overlay-aware)
+    # ------------------------------------------------------------------ #
+    def model(self, name: Union[str, Model]) -> Model:
+        """The compiled model ``name`` under this session's registry."""
+        return resolve_model(name, self.models)
+
+    def arch_model(self, arch: str) -> Model:
+        """The architecture model for a compilation target."""
+        if arch not in ARCH_MODEL:
+            raise ModelError(f"no architecture model registered for {arch!r}")
+        return self.model(ARCH_MODEL[arch])
+
+    def model_signature(self, name: Union[str, Model]) -> str:
+        """A content digest of what ``name`` resolves to here — cache-key
+        identity, so a session that shadows a model name can never replay
+        verdicts computed under the global model of the same name."""
+        return model_signature(name, self.models)
+
+    def shape(self, name: str) -> Shape:
+        return self.shapes.get(name)
+
+    def isa(self, name: str) -> Isa:
+        return self.isas.get(name)
+
+    def baseline(self, name: str) -> Callable:
+        return self.baselines.get(name)
+
+    def profile(self, spec: Union[str, CompilerProfile, tuple]) -> CompilerProfile:
+        """Resolve a profile: a :class:`CompilerProfile` passes through, a
+        ``(compiler, opt, arch)`` tuple builds one, and an artefact-style
+        name (``llvm-O3-AArch64``) parses — all against this session's
+        compiler-epoch registry."""
+        if isinstance(spec, CompilerProfile):
+            return spec
+        if isinstance(spec, tuple):
+            return make_profile(*spec, epochs=self.epochs)
+        return parse_profile(spec, epochs=self.epochs)
+
+    def local_model_names(self, plan: CampaignPlan) -> Set[str]:
+        """The plan's models that only this session knows — the set that
+        cannot cross a process-pool boundary or be keyed in a store."""
+        names = [plan.source_model]
+        names.extend(
+            ARCH_MODEL[arch] for arch in plan.arches if arch in ARCH_MODEL
+        )
+        return {
+            name for name in names
+            if name in self.models and self.models.is_local(name)
+        }
+
+    def local_epoch_names(self, plan: CampaignPlan) -> Set[str]:
+        """The plan's compiler epochs that only this session knows.
+        Campaigns build default-version profiles, so the relevant epochs
+        are ``<compiler>-<default version>``."""
+        names = [
+            f"{compiler}-{DEFAULT_VERSION[compiler]}"
+            for compiler in plan.compilers if compiler in DEFAULT_VERSION
+        ]
+        return {
+            name for name in names
+            if name in self.epochs and self.epochs.is_local(name)
+        }
+
+    # ------------------------------------------------------------------ #
+    # running things
+    # ------------------------------------------------------------------ #
+    def test(
+        self,
+        litmus: CLitmus,
+        profile: Union[str, CompilerProfile, tuple],
+        *,
+        source_model: Union[str, Model] = "rc11",
+        target_model: Optional[Union[str, Model]] = None,
+        augment: bool = True,
+        optimise: bool = True,
+        unroll: int = 2,
+        budget: Optional[Budget] = None,
+        source_result=None,
+    ) -> TelechatResult:
+        """Run test_tv on one C litmus test — the session-scoped
+        replacement for the deprecated module-level ``test_compilation``.
+        """
+        resolved_profile = self.profile(profile)
+        if budget is None and self.budget_candidates is not None:
+            budget = Budget(max_candidates=self.budget_candidates)
+        target = target_model
+        if target is None:
+            target = self.arch_model(resolved_profile.arch)
+        return run_test_tv(
+            litmus,
+            resolved_profile,
+            source_model=self.model(source_model),
+            target_model=self.model(target),
+            augment=augment,
+            optimise=optimise,
+            unroll=unroll,
+            budget=budget,
+            source_result=source_result,
+        )
+
+    def campaign(self, plan: CampaignPlan) -> CampaignStream:
+        """Run a campaign plan, streaming typed events as cells finish.
+
+        Returns a :class:`CampaignStream`: iterate it for live
+        ``CampaignStarted`` / ``CellFinished`` / ``CampaignFinished``
+        events, or call ``.report()`` to drain it into the batch
+        :class:`CampaignReport` (byte-for-byte the legacy report).
+        """
+        return CampaignStream(iter_campaign(plan, self))
+
+    def campaign_sharded(self, plan: CampaignPlan, shards: int) -> CampaignStream:
+        """Run all ``shards`` deterministic shards of ``plan`` through
+        this session, with a :class:`ShardMerged` checkpoint event after
+        each; ``.report()`` folds to the merged single-run Table IV."""
+        return CampaignStream(iter_sharded(plan, self, shards))
+
+    def run(self, plan: CampaignPlan) -> CampaignReport:
+        """Batch convenience: run ``plan`` and fold the stream."""
+        return self.campaign(plan).report()

@@ -16,6 +16,8 @@ import enum
 from dataclasses import dataclass, field, replace
 from typing import FrozenSet, Optional, Tuple
 
+from ...core.registry import Registry
+
 
 class Op(enum.Enum):
     """The unified micro-operation set."""
@@ -161,28 +163,30 @@ class Isa:
         return out
 
 
-_ISA_REGISTRY: "dict[str, Isa]" = {}
+#: the global ISA registry, on the shared protocol of
+#: :class:`repro.core.registry.Registry` (did-you-mean errors, overlays).
+ISAS: "Registry[Isa]" = Registry("architecture", error=IsaError)
 
 
 def register_isa(isa: Isa) -> Isa:
     """Add an ISA instance to the global registry (module import time)."""
-    _ISA_REGISTRY[isa.name] = isa
-    return isa
+    return ISAS.register(isa.name, isa, doc=type(isa).__name__)
+
+
+def ensure_registered() -> None:
+    """Import every per-ISA module so ``ISAS`` is fully populated.
+
+    Registration happens as an import side effect; anything that reads
+    ``ISAS`` directly (overlays included) must call this first."""
+    from . import aarch64, armv7, mips, ppc, riscv, x86  # noqa: F401
 
 
 def get_isa(name: str) -> Isa:
     """Look up an ISA by its litmus ``arch`` name (e.g. ``aarch64``)."""
-    # import side effect: ensure all ISA modules are registered
-    from . import aarch64, armv7, mips, ppc, riscv, x86  # noqa: F401
-
-    if name not in _ISA_REGISTRY:
-        raise IsaError(
-            f"unknown architecture {name!r}; known: {', '.join(sorted(_ISA_REGISTRY))}"
-        )
-    return _ISA_REGISTRY[name]
+    ensure_registered()
+    return ISAS.get(name)
 
 
 def list_isas() -> "list[str]":
-    from . import aarch64, armv7, mips, ppc, riscv, x86  # noqa: F401
-
-    return sorted(_ISA_REGISTRY)
+    ensure_registered()
+    return ISAS.names()

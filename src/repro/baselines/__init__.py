@@ -3,11 +3,15 @@
 from .c4 import C4Result, c4_test
 from .cmmtest import CmmtestResult, CmmtestWarning, cmmtest_check
 from .irsim import elaborate_ir
+from .registry import BASELINES, get_baseline, list_baselines
 from .validc import ValidcResult, validc_check
 
 __all__ = [
+    "BASELINES",
     "C4Result",
     "c4_test",
+    "get_baseline",
+    "list_baselines",
     "CmmtestResult",
     "CmmtestWarning",
     "cmmtest_check",

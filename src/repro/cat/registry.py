@@ -1,31 +1,67 @@
 """Model registry: look up compiled Cat models by name.
 
 Names follow the paper's artefact conventions (``rc11.cat``,
-``rc11+lb.cat``, ``aarch64.cat``…); the ``.cat`` suffix is optional.
+``rc11+lb.cat``, ``aarch64.cat``…); the ``.cat`` suffix is optional, and
+each model's *in-source* header name (``X86-TSO``, ``C11-PARTIALSC``,
+``RC11-LB``…) is registered as an alias, so whatever spelling a ``.cat``
+file or the paper uses resolves to the same compiled model.
+
+Built on the generic :class:`repro.core.registry.Registry` protocol:
+``MODELS`` holds Cat *sources*; compiled :class:`Model` objects are cached
+lazily per source text, so per-session overlays (which may shadow a name
+with different source) never poison the global compile cache.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+import hashlib
+from typing import Dict, List, Optional
 
 from ..core.errors import ModelError
+from ..core.registry import Registry
 from .interp import Model
 from .models import aarch64, armv7, c11_variants, mips, ppc, rc11, rc11_lb, riscv, sc, x86tso
 
-_SOURCES: Dict[str, str] = {
-    "sc": sc.SOURCE,
-    "rc11": rc11.SOURCE,
-    "rc11+lb": rc11_lb.SOURCE,
-    "c11_simp": c11_variants.C11_SIMP_SOURCE,
-    "c11_partialsc": c11_variants.C11_PARTIALSC_SOURCE,
-    "x86tso": x86tso.SOURCE,
-    "aarch64": aarch64.SOURCE,
-    "armv7": armv7.SOURCE,
-    "armv7_buggy": armv7.BUGGY_SOURCE,
-    "riscv": riscv.SOURCE,
-    "ppc": ppc.SOURCE,
-    "mips": mips.SOURCE,
-}
+
+def _strip_cat(name: str) -> str:
+    """The registry's normalisation: case-fold and drop ``.cat``.  The
+    hyphenated spellings are *aliases* (below), so inventory listings can
+    show them."""
+    key = name.strip().lower()
+    if key.endswith(".cat"):
+        key = key[: -len(".cat")]
+    return key
+
+
+def normalise(name: str) -> str:
+    """Canonicalise a model name: case-fold, drop the ``.cat`` suffix,
+    and rewrite the hyphenated in-source spellings (``x86-tso``,
+    ``c11-partialsc``) to their registry keys."""
+    key = _strip_cat(name)
+    key = key.replace("c11-partialsc", "c11_partialsc").replace("x86-tso", "x86tso")
+    return key
+
+
+#: every shipped Cat model source, by artefact name.  The aliases are the
+#: models' in-source header names (what ``herd7`` would print).
+MODELS: Registry[str] = Registry("model", normalise=_strip_cat, error=ModelError)
+MODELS.register("sc", sc.SOURCE, doc="sequential consistency")
+MODELS.register("rc11", rc11.SOURCE, doc="repaired C11 (the paper's CMEM default)")
+MODELS.register("rc11+lb", rc11_lb.SOURCE, aliases=("rc11-lb",),
+                doc="RC11 with load-buffering allowed (Claim 4 re-run)")
+MODELS.register("c11_simp", c11_variants.C11_SIMP_SOURCE, aliases=("c11-simp",),
+                doc="coherence and atomicity only")
+MODELS.register("c11_partialsc", c11_variants.C11_PARTIALSC_SOURCE,
+                aliases=("c11-partialsc",), doc="RC11 without the SC axiom")
+MODELS.register("x86tso", x86tso.SOURCE, aliases=("x86-tso",),
+                doc="Intel x86 total store order")
+MODELS.register("aarch64", aarch64.SOURCE, doc="Armv8 AArch64")
+MODELS.register("armv7", armv7.SOURCE, doc="Armv7-a")
+MODELS.register("armv7_buggy", armv7.BUGGY_SOURCE, aliases=("armv7-buggy",),
+                doc="pre-fix herdtools Armv7 (dmb ish missing)")
+MODELS.register("riscv", riscv.SOURCE, doc="RISC-V RVWMO")
+MODELS.register("ppc", ppc.SOURCE, doc="IBM PowerPC")
+MODELS.register("mips", mips.SOURCE, doc="MIPS (SYNC-bracketed atomics)")
 
 #: The architecture model used for each compilation target.
 ARCH_MODEL: Dict[str, str] = {
@@ -37,34 +73,50 @@ ARCH_MODEL: Dict[str, str] = {
     "mips64": "mips",
 }
 
-_CACHE: Dict[str, Model] = {}
+#: compiled models, keyed by (name, source text) — safe to share between
+#: the global registry and any session overlay, including an overlay that
+#: shadows a global name with different source.
+_COMPILE_CACHE: Dict[tuple, Model] = {}
 
 
-def normalise(name: str) -> str:
-    key = name.strip().lower()
-    if key.endswith(".cat"):
-        key = key[: -len(".cat")]
-    key = key.replace("c11_partialsc", "c11_partialsc").replace("x86-tso", "x86tso")
-    return key
+def compile_model(source: str, name: str) -> Model:
+    """Compile (with caching) a Cat source to a :class:`Model`."""
+    key = (name, source)
+    if key not in _COMPILE_CACHE:
+        _COMPILE_CACHE[key] = Model.from_source(source, name=name)
+    return _COMPILE_CACHE[key]
+
+
+def model_signature(name, registry: Optional[Registry[str]] = None) -> str:
+    """A short content digest of the model ``name`` resolves to under
+    ``registry`` — the piece of cache-key identity that distinguishes a
+    session-shadowed model from the global one of the same name (the
+    PR 2 rule: caches key on *content*, never on names alone)."""
+    if isinstance(name, Model):
+        name = name.name
+    registry = registry if registry is not None else MODELS
+    source = registry.get(name)
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
+
+
+def resolve_model(name, registry: Optional[Registry[str]] = None) -> Model:
+    """Resolve a model name (or pass a :class:`Model` through) against
+    ``registry`` — the hook :class:`repro.api.Session` uses to honour
+    per-session overlays."""
+    if isinstance(name, Model):
+        return name
+    registry = registry if registry is not None else MODELS
+    key = registry.resolve(name)
+    return compile_model(registry.get(key), key)
 
 
 def get_model(name: str) -> Model:
     """Return the compiled model called ``name`` (cached)."""
-    key = normalise(name)
-    if key not in _SOURCES:
-        raise ModelError(
-            f"unknown model {name!r}; available: {', '.join(sorted(_SOURCES))}"
-        )
-    if key not in _CACHE:
-        _CACHE[key] = Model.from_source(_SOURCES[key], name=key)
-    return _CACHE[key]
+    return resolve_model(name)
 
 
 def get_source(name: str) -> str:
-    key = normalise(name)
-    if key not in _SOURCES:
-        raise ModelError(f"unknown model {name!r}")
-    return _SOURCES[key]
+    return MODELS.get(name)
 
 
 def arch_model(arch: str) -> Model:
@@ -75,4 +127,4 @@ def arch_model(arch: str) -> Model:
 
 
 def list_models() -> List[str]:
-    return sorted(_SOURCES)
+    return MODELS.names()

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..core.errors import CompilationError
+from ..core.registry import Registry
 from . import bugs
 
 #: Optimisation levels, per compiler (paper Table III; clang has no -Og).
@@ -79,33 +80,35 @@ class CompilerProfile:
         return f"{self.compiler}-{self.version} {self.opt} → {self.arch}"
 
 
-#: Bug sets per compiler epoch (paper §IV-B/C; see bugs.py for details).
-_EPOCH_BUGS: Dict[Tuple[str, int], FrozenSet[str]] = {
-    # the "past versions of LLVM and GCC" of Fig. 10
-    ("llvm", 11): frozenset({
-        bugs.RMW_ST_FORM,
-        bugs.XCHG_DROP_READ,
-        bugs.ATOMIC_128_VIA_LOOP,
-    }),
-    ("gcc", 9): frozenset({
-        bugs.RMW_ST_FORM,
-        bugs.ATOMIC_128_VIA_LOOP,
-        bugs.ARMV7_O1_CTRL_DROP,
-    }),
-    # current versions: Fig. 10 bugs fixed; the 2023 reports [37][38][39]
-    # were found by the paper against these
-    ("llvm", 16): frozenset({
-        bugs.XCHG_DROP_READ,
-        bugs.LDP_SEQCST_UNORDERED,
-        bugs.STP_WRONG_ENDIAN,
-    }),
-    ("gcc", 12): frozenset({
-        bugs.ARMV7_O1_CTRL_DROP,
-    }),
-    # hypothetical fully fixed versions (for the "validate the fix" flows)
-    ("llvm", 17): frozenset(),
-    ("gcc", 13): frozenset(),
-}
+#: Bug sets per compiler epoch (paper §IV-B/C; see bugs.py for details),
+#: keyed ``"<compiler>-<version>"`` on the shared registry protocol so
+#: sessions can register private epochs (e.g. a patched compiler under
+#: validation) without touching the global table.
+EPOCHS: Registry[FrozenSet[str]] = Registry("compiler epoch", error=CompilationError)
+# the "past versions of LLVM and GCC" of Fig. 10
+EPOCHS.register("llvm-11", frozenset({
+    bugs.RMW_ST_FORM,
+    bugs.XCHG_DROP_READ,
+    bugs.ATOMIC_128_VIA_LOOP,
+}), doc="the paper's past LLVM (Fig. 10 bugs present)")
+EPOCHS.register("gcc-9", frozenset({
+    bugs.RMW_ST_FORM,
+    bugs.ATOMIC_128_VIA_LOOP,
+    bugs.ARMV7_O1_CTRL_DROP,
+}), doc="the paper's past GCC (Fig. 10 bugs present)")
+# current versions: Fig. 10 bugs fixed; the 2023 reports [37][38][39]
+# were found by the paper against these
+EPOCHS.register("llvm-16", frozenset({
+    bugs.XCHG_DROP_READ,
+    bugs.LDP_SEQCST_UNORDERED,
+    bugs.STP_WRONG_ENDIAN,
+}), doc="current LLVM (2023 report bugs present)")
+EPOCHS.register("gcc-12", frozenset({
+    bugs.ARMV7_O1_CTRL_DROP,
+}), doc="current GCC")
+# hypothetical fully fixed versions (for the "validate the fix" flows)
+EPOCHS.register("llvm-17", frozenset(), doc="fully fixed LLVM")
+EPOCHS.register("gcc-13", frozenset(), doc="fully fixed GCC")
 
 #: Default (current) version per compiler.
 DEFAULT_VERSION = {"llvm": 16, "gcc": 12}
@@ -120,8 +123,14 @@ def make_profile(
     rcpc: bool = False,
     v84: bool = False,
     pic: bool = True,
+    epochs: Optional[Registry] = None,
 ) -> CompilerProfile:
-    """Build a profile, validating paper Table III's combinations."""
+    """Build a profile, validating paper Table III's combinations.
+
+    ``epochs`` selects the compiler-epoch registry to resolve
+    ``(compiler, version)`` against — sessions pass their overlay here so
+    privately registered epochs work without touching the global table.
+    """
     if compiler not in ("llvm", "gcc"):
         raise CompilationError(f"unknown compiler {compiler!r}")
     levels = LLVM_OPT_LEVELS if compiler == "llvm" else GCC_OPT_LEVELS
@@ -133,12 +142,9 @@ def make_profile(
         raise CompilationError(f"unknown architecture {arch!r}")
     if version is None:
         version = DEFAULT_VERSION[compiler]
-    key = (compiler, version)
-    if key not in _EPOCH_BUGS:
-        raise CompilationError(
-            f"unknown compiler epoch {compiler}-{version}; known: "
-            f"{sorted(_EPOCH_BUGS)}"
-        )
+    epoch_bugs = (epochs if epochs is not None else EPOCHS).get(
+        f"{compiler}-{version}"
+    )
     if lse is None:
         lse = arch == "aarch64"  # default to Armv8.1-a for AArch64
     return CompilerProfile(
@@ -150,8 +156,44 @@ def make_profile(
         rcpc=rcpc and arch == "aarch64",
         v84=v84 and arch == "aarch64",
         pic=pic,
-        bug_flags=_EPOCH_BUGS[key],
+        bug_flags=epoch_bugs,
     )
+
+
+#: profile-name architecture aliases, reversed (``AArch64`` → ``aarch64``).
+_ALIAS_ARCH = {alias.lower(): arch for arch, alias in _ARCH_ALIASES.items()}
+
+
+def parse_profile(name: str, epochs: Optional[Registry] = None) -> CompilerProfile:
+    """Parse an artefact-style profile name (``llvm-O3-AArch64``) back
+    into a profile, so CLI and API callers can address profiles by the
+    string the paper uses.  A trailing ``-<version>`` component selects
+    a non-default epoch (``gcc-Og-ARM-9``).
+
+    Caveat: :attr:`CompilerProfile.name` follows the artefact convention
+    and does **not** encode the version, so this is only the inverse of
+    ``.name`` for default-epoch profiles — re-parsing the ``.name`` of a
+    ``version=`` profile resolves the *default* epoch.  Serialise the
+    version separately (as the campaign store's records do via the
+    ``version``-free profile name plus the session's epoch overlay)."""
+    parts = name.strip().split("-")
+    if len(parts) < 3:
+        raise CompilationError(
+            f"bad profile name {name!r}; expected <compiler>-<opt>-<arch>"
+            f"[-<version>], e.g. llvm-O3-AArch64"
+        )
+    compiler, level = parts[0].lower(), parts[1]
+    rest = parts[2:]
+    version: Optional[int] = None
+    # a trailing integer is an epoch version — unless it belongs to a
+    # hyphenated arch alias ("x86-64", "RISC-V" has none)
+    if len(rest) > 1 and rest[-1].isdigit() and "-".join(rest).lower() not in _ALIAS_ARCH:
+        version = int(rest[-1])
+        rest = rest[:-1]
+    arch_alias = "-".join(rest)
+    arch = _ALIAS_ARCH.get(arch_alias.lower(), arch_alias.lower())
+    return make_profile(compiler, f"-{level}", arch, version=version,
+                        epochs=epochs)
 
 
 def default_profiles(arch: str, opts: Optional[List[str]] = None) -> List[CompilerProfile]:

@@ -15,6 +15,7 @@ from .litmus import (
     TrueProp,
     conj,
 )
+from .registry import Registry, RegistryError
 from .relations import Relation, RelationBuilder
 from .errors import (
     CompilationError,
@@ -52,6 +53,8 @@ __all__ = [
     "RegEq",
     "TrueProp",
     "conj",
+    "Registry",
+    "RegistryError",
     "Relation",
     "RelationBuilder",
     "CompilationError",

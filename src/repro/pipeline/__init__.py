@@ -17,6 +17,7 @@ from .telechat import (
     differential_outcomes,
     outcomes_from_jsonable,
     outcomes_to_jsonable,
+    run_test_tv,
     test_compilation,
 )
 
@@ -35,6 +36,7 @@ __all__ = [
     "outcomes_to_jsonable",
     "record_key",
     "run_campaign",
+    "run_test_tv",
     "TelechatResult",
     "differential_outcomes",
     "test_compilation",

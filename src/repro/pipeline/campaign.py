@@ -34,14 +34,18 @@ by two different tests named ``LB001``.
 from __future__ import annotations
 
 import threading
-import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+# The executors are re-exported module attributes, not mere imports: this
+# module's namespace is the campaign engine's historical
+# extension/monkeypatch surface.  The streaming engine in
+# :mod:`repro.api.engine` late-binds ``campaign.ThreadPoolExecutor``,
+# ``campaign.ProcessPoolExecutor`` and ``campaign.test_compilation`` so
+# tests and embedders can swap them here, exactly as they always have.
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor  # noqa: F401
 from dataclasses import dataclass, field
 from typing import (
     Callable,
     Dict,
     FrozenSet,
-    Iterable,
     List,
     Optional,
     Sequence,
@@ -50,20 +54,18 @@ from typing import (
 )
 
 from ..compiler.profiles import (
-    ARCHES,
     GCC_OPT_LEVELS,
     LLVM_OPT_LEVELS,
-    CompilerProfile,
     make_profile,
 )
 from ..core.errors import ReproError, SimulationTimeout
-from ..herd.enumerate import Budget
-from ..herd.simulator import SimulationResult, simulate_c
 from ..lang.ast import CLitmus
-from ..tools.diy import DiyConfig, generate
-from ..tools.l2c import prepare
-from .store import STORE_SCHEMA, CampaignStore, cell_key
-from .telechat import TelechatResult, test_compilation
+from ..tools.diy import DiyConfig
+from .store import STORE_SCHEMA, CampaignStore
+from .telechat import TelechatResult
+# bound as a module attribute — and NOT the deprecation shim — for the
+# same late-binding reason as the executors above
+from .telechat import run_test_tv as test_compilation  # noqa: F401
 
 #: Table IV's column order.
 CAMPAIGN_OPTS = ("-O1", "-O2", "-O3", "-Ofast", "-Og")
@@ -254,6 +256,44 @@ class CampaignReport:
         )
 
     # ------------------------------------------------------------------ #
+    def to_jsonable(self, include_timing: bool = True) -> Dict[str, object]:
+        """A canonical JSON projection of the whole report.
+
+        Deterministic (cells and keys sorted) so two reports of the same
+        campaign serialise byte-for-byte identically under
+        ``json.dumps(..., sort_keys=True)`` — the representation the
+        event-stream parity guarantee is stated in.  ``include_timing``
+        off zeroes the only wall-clock-dependent field.
+        """
+        return {
+            "source_model": self.source_model,
+            "tests_input": self.tests_input,
+            "compiled_tests": self.compiled_tests,
+            "elapsed_seconds": self.elapsed_seconds if include_timing else 0.0,
+            "source_simulations": self.source_simulations,
+            "source_sim_keys": sorted(
+                "|".join(str(part) for part in key)
+                for key in self.source_sim_keys
+            ),
+            "cached_cells": self.cached_cells,
+            "store_hits": self.store_hits,
+            "workers": self.workers,
+            "processes": self.processes,
+            "shard": list(self.shard) if self.shard else None,
+            "positives": [list(p) for p in self.positives],
+            "cells": {
+                "|".join(key): {
+                    "positive": cell.positive,
+                    "negative": cell.negative,
+                    "equal": cell.equal,
+                    "ub_masked": cell.ub_masked,
+                    "timeouts": cell.timeouts,
+                    "errors": cell.errors,
+                }
+                for key, cell in sorted(self.cells.items())
+            },
+        }
+
     def table(self) -> str:
         """Render in the paper's Table IV layout (clang/gcc per cell)."""
         if self.processes:
@@ -413,53 +453,6 @@ def _verdict_record(
     return record
 
 
-#: per-process source caches for the ProcessPoolExecutor backend, keyed by
-#: the campaign parameters that change a source simulation.
-_WORKER_SOURCE_CACHES: Dict[Tuple, SourceSimCache] = {}
-
-
-def _pool_cell(task: Tuple) -> Dict[str, object]:
-    """Evaluate one campaign cell in a worker process.
-
-    Runs the same tool-chain as the in-process path but returns a
-    JSON-able verdict record instead of a :class:`TelechatResult` — the
-    record is the cross-process (and on-disk) currency.  Each worker
-    process keeps its own source cache; the parent de-duplicates source
-    simulations across workers by cache key.
-    """
-    litmus, arch, opt, compiler, source_model, augment, budget_candidates = task
-    cache = _WORKER_SOURCE_CACHES.setdefault(
-        (source_model, augment, budget_candidates), SourceSimCache()
-    )
-    source_key = (litmus.digest(), source_model, augment, budget_candidates)
-
-    def produce_result() -> TelechatResult:
-        source_result = cache.get(
-            source_key,
-            lambda: simulate_c(
-                prepare(litmus, augment=augment),
-                source_model,
-                budget=Budget(max_candidates=budget_candidates),
-            ),
-        )
-        return test_compilation(
-            litmus,
-            make_profile(compiler, opt, arch),
-            source_model=source_model,
-            augment=augment,
-            budget=Budget(max_candidates=budget_candidates),
-            source_result=source_result,
-        )
-
-    misses_before = cache.misses
-    record = _verdict_record(
-        litmus, arch, opt, compiler, source_model, augment, budget_candidates,
-        produce_result,
-    )
-    record["source_simulated"] = cache.misses > misses_before
-    return record
-
-
 def run_campaign(
     tests: Optional[Sequence[CLitmus]] = None,
     config: Optional[DiyConfig] = None,
@@ -500,166 +493,37 @@ def run_campaign(
     n)`` evaluates only the k-th of n deterministic partitions of the
     cell work list — run the n shards anywhere, then
     :func:`merge_reports` their reports back into the full Table IV.
+
+    .. deprecated::
+        This is a batch shim over the streaming engine: it builds a
+        :class:`repro.api.CampaignPlan`, runs it in a throwaway
+        :class:`repro.api.Session`, and folds the event stream back into
+        the :class:`CampaignReport` it always returned.  New code should
+        hold a session and consume the stream.  Calling this from inside
+        :mod:`repro` raises.
     """
-    if tests is None:
-        tests = generate(config or DiyConfig())
-    if resume and store is None:
-        raise ValueError("resume=True needs a store to resume from")
-    if store is not None and not isinstance(store, CampaignStore):
-        store = CampaignStore(store)
-    workers = max(1, workers)
-    processes = max(0, processes)
-    if processes > 0 and (source_cache is not None or result_cache is not None):
-        raise ValueError(
-            "in-memory source/result caches are not shared with worker "
-            "processes; persist across process-pool campaigns with a store"
-        )
-    source_cache = source_cache if source_cache is not None else SourceSimCache()
-    result_cache = result_cache if result_cache is not None else ResultCache()
-    if shard is not None:
-        shard_k, shard_n = shard
-        if shard_n < 1 or not (0 <= shard_k < shard_n):
-            raise ValueError(f"bad shard {shard!r}: need 0 <= k < n")
-    report = CampaignReport(
-        source_model=source_model, workers=workers, processes=processes,
+    from ..api import CampaignPlan, Session
+    from ..api._deprecation import warn_deprecated
+
+    warn_deprecated("run_campaign()", "Session.campaign(CampaignPlan(...))")
+    # the historical ValueError contracts (resume-without-store, process
+    # pool + in-memory caches, bad shard) are enforced by the plan and
+    # the engine; PlanError subclasses ValueError with the same messages
+    plan = CampaignPlan(
+        tests=None if tests is None else tuple(tests),
+        config=config,
+        arches=tuple(arches),
+        opts=tuple(opts),
+        compilers=tuple(compilers),
+        source_model=source_model,
+        budget_candidates=budget_candidates,
+        augment=augment,
+        workers=max(1, workers),
+        processes=max(0, processes),
         shard=shard,
+        resume=resume,
     )
-    report.tests_input = len(tests)
-    start = time.perf_counter()
-    result_hits_before = result_cache.hits
-
-    #: source-simulation keys actually produced during *this* run
-    simulated_sources: set = set()
-
-    def source_key_of(litmus: CLitmus) -> Tuple:
-        return (litmus.digest(), source_model, augment, budget_candidates)
-
-    def simulate_source(litmus: CLitmus) -> SimulationResult:
-        key = source_key_of(litmus)
-
-        def produce() -> SimulationResult:
-            simulated_sources.add(key)
-            return simulate_c(
-                prepare(litmus, augment=augment),
-                source_model,
-                budget=Budget(max_candidates=budget_candidates),
-            )
-
-        return source_cache.get(key, produce)
-
-    def run_cell(
-        litmus: CLitmus, arch: str, opt: str, compiler: str
-    ) -> TelechatResult:
-        profile = make_profile(compiler, opt, arch)
-        return result_cache.get(
-            (litmus.digest(), profile.name, source_model, augment,
-             budget_candidates),
-            lambda: test_compilation(
-                litmus,
-                profile,
-                source_model=source_model,
-                augment=augment,
-                budget=Budget(max_candidates=budget_candidates),
-                source_result=simulate_source(litmus),
-            ),
-        )
-
-    def evaluate(
-        litmus: CLitmus, arch: str, opt: str, compiler: str
-    ) -> Dict[str, object]:
-        return _verdict_record(
-            litmus, arch, opt, compiler, source_model, augment,
-            budget_candidates,
-            lambda: run_cell(litmus, arch, opt, compiler),
-        )
-
-    def collect(index: int, record: Dict[str, object]) -> None:
-        """Land one freshly computed verdict — and persist it *now*, so
-        an interrupted campaign resumes from every cell that finished."""
-        records[index] = record
-        if store is not None:
-            store.put(record)
-
-    work = _campaign_cells(tests, arches, opts, compilers)
-    if shard is not None:
-        work = work[shard_k::shard_n]
-
-    # replay whatever the persistent store already knows
-    records: List[Optional[Dict[str, object]]] = [None] * len(work)
-    pending: List[Tuple[int, Tuple[CLitmus, str, str, str]]] = []
-    for index, (litmus, arch, opt, compiler) in enumerate(work):
-        if store is not None and resume:
-            key = cell_key(
-                litmus.digest(), _profile_name(compiler, opt, arch),
-                source_model, augment, budget_candidates,
-            )
-            stored = store.get(key)
-            if stored is not None:
-                records[index] = stored
-                report.store_hits += 1
-                continue
-        pending.append((index, (litmus, arch, opt, compiler)))
-
-    # evaluate the cells the store could not answer.  In the pool
-    # branches an unexpected exception from one cell must not discard the
-    # verdicts of cells that still ran to completion (pool shutdown waits
-    # for them) — collect and persist everything, then re-raise the first
-    # failure.
-    first_error: Optional[BaseException] = None
-    if pending and processes > 0:
-        tasks = [
-            (litmus, arch, opt, compiler, source_model, augment,
-             budget_candidates)
-            for _, (litmus, arch, opt, compiler) in pending
-        ]
-        with ProcessPoolExecutor(max_workers=processes) as pool:
-            futures = [pool.submit(_pool_cell, task) for task in tasks]
-            for (index, (litmus, _, _, _)), future in zip(pending, futures):
-                try:
-                    record = future.result()
-                except Exception as exc:
-                    first_error = first_error if first_error is not None else exc
-                    continue
-                if record.get("source_simulated"):
-                    simulated_sources.add(source_key_of(litmus))
-                collect(index, record)
-    elif pending and workers > 1:
-        # the with-block shuts the pool down even when an unexpected
-        # exception escapes future.result(), so workers never leak
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(evaluate, *item) for _, item in pending]
-            for (index, _), future in zip(pending, futures):
-                try:
-                    record = future.result()
-                except Exception as exc:
-                    first_error = first_error if first_error is not None else exc
-                    continue
-                collect(index, record)
-    else:
-        for index, item in pending:
-            collect(index, evaluate(*item))
-    if first_error is not None:
-        raise first_error
-
-    # tally — in the caller's thread, in work-list order, so reports are
-    # deterministic regardless of executor and parallelism
-    for (litmus, arch, opt, compiler), record in zip(work, records):
-        cell = report.cell(arch, opt, compiler)
-        status = record["status"]
-        if status == "timeout":
-            cell.timeouts += 1
-            continue
-        if status == "error":
-            cell.errors += 1
-            continue
-        report.compiled_tests += 1
-        verdict = str(record["verdict"])
-        cell.record(verdict)
-        if verdict == "positive":
-            report.positives.append((litmus.name, arch, opt, compiler))
-
-    report.source_sim_keys = frozenset(simulated_sources)
-    report.source_simulations = len(report.source_sim_keys)
-    report.cached_cells = result_cache.hits - result_hits_before
-    report.elapsed_seconds = time.perf_counter() - start
-    return report
+    session = Session(
+        store=store, source_cache=source_cache, result_cache=result_cache
+    )
+    return session.campaign(plan).report()

@@ -1,39 +1,46 @@
-"""The ``telechat`` command-line interface.
+"""The ``telechat`` command-line interface, on the :mod:`repro.api` surface.
 
 Mirrors the paper artefact's Makefile entry points:
 
 * ``telechat examples`` — the "smoketest" (Claims 1/2/5): runs the LB
   family through test_tv for llvm-O3-AArch64 and prints the mcompare log;
-* ``telechat test FILE`` — run one C litmus test under a profile;
-* ``telechat campaign`` — the scaled Table IV campaign;
+* ``telechat test FILE`` — run one C litmus test under a profile; exits
+  non-zero on a ``positive`` (bug-found) verdict so shell scripts and CI
+  can gate on it;
+* ``telechat campaign`` — the scaled Table IV campaign, with live
+  per-cell progress on a tty (``--progress``/``--no-progress`` to force)
+  and ``--json`` emitting the typed event stream as JSON lines;
 * ``telechat models`` / ``telechat shapes`` / ``telechat profiles`` —
-  inventory listings.
+  inventory listings (``--json`` for registry metadata).
+
+Every command drives a :class:`repro.api.Session`; the CLI holds no
+state of its own.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from ..cat.registry import list_models
-from ..compiler.profiles import ARCHES, make_profile
-from ..herd.enumerate import Budget
+from ..api import CampaignPlan, CellFinished, Session
+from ..cat.registry import MODELS
+from ..compiler.profiles import ARCHES, EPOCHS, default_profiles
 from ..lang.parser import parse_c_litmus
-from ..tools.diy import DiyConfig, build_test, get_shape, shape_names, small_config
-from .campaign import run_campaign
+from ..tools.diy import SHAPES, DiyConfig, build_test, small_config
 from .store import CampaignStore
-from .telechat import test_compilation
 
 
 def _cmd_examples(args: argparse.Namespace) -> int:
     """The artefact's ``make examples`` smoketest."""
-    profile = make_profile("llvm", "-O3", "aarch64")
+    session = Session()
+    profile = session.profile(("llvm", "-O3", "aarch64"))
     print(f"profile: {profile.name}\n")
     for fence in (None,):
-        test = build_test(get_shape("LB"), "rlx", fence=fence, name="LB004")
+        test = build_test(session.shape("LB"), "rlx", fence=fence, name="LB004")
         for model in ("rc11", "rc11+lb"):
-            result = test_compilation(test, profile, source_model=model)
+            result = session.test(test, profile, source_model=model)
             print(f"== {test.name} under {model} ==")
             print(result.comparison.pretty())
             print(
@@ -49,14 +56,17 @@ def _cmd_test(args: argparse.Namespace) -> int:
     with open(args.file) as handle:
         source = handle.read()
     litmus = parse_c_litmus(source, name=args.file)
-    profile = make_profile(args.compiler, args.opt, args.arch)
-    result = test_compilation(
+    session = Session()
+    from ..herd.enumerate import Budget
+
+    result = session.test(
         litmus,
-        profile,
+        (args.compiler, args.opt, args.arch),
         source_model=args.cmem,
         budget=Budget(deadline_seconds=args.timeout),
     )
     print(result.comparison.pretty())
+    # a found bug gates shell pipelines: 1 = positive difference
     return 1 if result.found_bug else 0
 
 
@@ -65,36 +75,94 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print("--resume needs --store", file=sys.stderr)
         return 2
     config = small_config() if args.small else DiyConfig()
-    store = CampaignStore(args.store) if args.store else None
-    report = run_campaign(
+    plan = CampaignPlan(
         config=config,
-        arches=args.arch or [a for a in ARCHES],
-        opts=args.opt or ["-O1", "-O2", "-O3"],
+        arches=tuple(args.arch) if args.arch else tuple(ARCHES),
+        opts=tuple(args.opt) if args.opt else ("-O1", "-O2", "-O3"),
         source_model=args.cmem,
         workers=args.workers,
         processes=args.processes,
-        store=store,
-        resume=args.resume,
         shard=args.shard,
+        resume=args.resume,
     )
-    print(report.table())
-    if store is not None:
-        print(
-            f"\nstore {store.path}: {len(store)} verdicts "
-            f"({report.store_hits} replayed, {store.appended} appended)"
-        )
+    store = CampaignStore(args.store) if args.store else None
+    session = Session(store=store)
+
+    if args.progress is None:
+        progress = sys.stderr.isatty() and not args.json
+    else:
+        progress = args.progress
+
+    stream = session.campaign(plan)
+    cells_total = 0
+    done = 0
+    for event in stream:
+        if args.json:
+            print(json.dumps(event.as_dict(), sort_keys=True))
+        if isinstance(event, CellFinished):
+            done += 1
+            if progress:
+                origin = " (store)" if event.from_store else ""
+                print(
+                    f"[{done}/{cells_total or '?'}] {event.test} "
+                    f"{event.arch} {event.opt} {event.compiler}: "
+                    f"{event.verdict or event.status}{origin}",
+                    file=sys.stderr,
+                )
+        elif progress and hasattr(event, "cells_total"):
+            cells_total = event.cells_total
+            print(
+                f"campaign: {event.tests_input} tests, "
+                f"{event.cells_total} cells ({event.pending} to run)",
+                file=sys.stderr,
+            )
+    report = stream.report()
+    if not args.json:
+        print(report.table())
+        if store is not None:
+            print(
+                f"\nstore {store.path}: {len(store)} verdicts "
+                f"({report.store_hits} replayed, {store.appended} appended)"
+            )
+    return 0
+
+
+def _print_inventory(args: argparse.Namespace, registry) -> int:
+    if getattr(args, "json", False):
+        print(json.dumps(registry.metadata(), indent=2, sort_keys=True))
+    else:
+        for name in registry.names():
+            print(name)
     return 0
 
 
 def _cmd_models(args: argparse.Namespace) -> int:
-    for name in list_models():
-        print(name)
-    return 0
+    return _print_inventory(args, MODELS)
 
 
 def _cmd_shapes(args: argparse.Namespace) -> int:
-    for name in shape_names():
-        print(name)
+    if args.json:
+        return _print_inventory(args, SHAPES)
+    for name in SHAPES.names():
+        print(SHAPES.get(name).name)  # display names ("LB", "2+2W")
+    return 0
+
+
+def _cmd_profiles(args: argparse.Namespace) -> int:
+    if args.json:
+        payload = {
+            "epochs": EPOCHS.metadata(),
+            "profiles": [
+                profile.name
+                for arch in ARCHES
+                for profile in default_profiles(arch)
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for arch in ARCHES:
+            for profile in default_profiles(arch):
+                print(profile.name)
     return 0
 
 
@@ -126,7 +194,11 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_examples
     )
 
-    test = sub.add_parser("test", help="run test_tv on one C litmus file")
+    test = sub.add_parser(
+        "test",
+        help="run test_tv on one C litmus file (exit 1 on a positive "
+             "difference)",
+    )
     test.add_argument("file")
     test.add_argument("--compiler", choices=("llvm", "gcc"), default="llvm")
     test.add_argument("--opt", default="-O3")
@@ -153,14 +225,32 @@ def build_parser() -> argparse.ArgumentParser:
                           help="run only the K-th of N cell shards "
                                "(0-based); merge the shard reports with "
                                "repro.pipeline.merge_reports")
+    campaign.add_argument("--json", action="store_true",
+                          help="emit the typed event stream as JSON lines "
+                               "instead of the Table IV report")
+    campaign.add_argument("--progress", dest="progress", action="store_true",
+                          default=None,
+                          help="per-cell progress on stderr (default: on "
+                               "when stderr is a tty)")
+    campaign.add_argument("--no-progress", dest="progress",
+                          action="store_false")
     campaign.set_defaults(func=_cmd_campaign)
 
-    sub.add_parser("models", help="list memory models").set_defaults(
-        func=_cmd_models
-    )
-    sub.add_parser("shapes", help="list diy shapes").set_defaults(
-        func=_cmd_shapes
-    )
+    models = sub.add_parser("models", help="list memory models")
+    models.add_argument("--json", action="store_true",
+                        help="registry metadata (names, aliases, docs)")
+    models.set_defaults(func=_cmd_models)
+
+    shapes = sub.add_parser("shapes", help="list diy shapes")
+    shapes.add_argument("--json", action="store_true",
+                        help="registry metadata (names, aliases, docs)")
+    shapes.set_defaults(func=_cmd_shapes)
+
+    profiles = sub.add_parser("profiles",
+                              help="list campaign compiler profiles")
+    profiles.add_argument("--json", action="store_true",
+                          help="epoch registry metadata + profile names")
+    profiles.set_defaults(func=_cmd_profiles)
     return parser
 
 

@@ -29,6 +29,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.events import MemoryOrder
 from ..core.litmus import And, Condition, LocEq, Prop, RegEq, conj
+from ..core.registry import Registry
 from ..lang.ast import (
     AtomicLoad,
     AtomicRMW,
@@ -102,11 +103,14 @@ def sb_ring(n: int) -> Shape:
     return Shape(f"SB{n}" if n != 2 else "SB", threads, cond)
 
 
-_SHAPES: Dict[str, Shape] = {}
+#: the global shape registry, on the shared Registry protocol.  Keys are
+#: normalised case-insensitively but listed by their display names.
+SHAPES: Registry[Shape] = Registry("shape")
 
 
 def _register(shape: Shape) -> Shape:
-    _SHAPES[shape.name] = shape
+    SHAPES.register(shape.name, shape, display=shape.name,
+                    threads=len(shape.threads))
     return shape
 
 
@@ -205,11 +209,11 @@ _register(
 
 
 def shape_names() -> List[str]:
-    return sorted(_SHAPES)
+    return [SHAPES.get(name).name for name in SHAPES.names()]
 
 
 def get_shape(name: str) -> Shape:
-    return _SHAPES[name]
+    return SHAPES.get(name)
 
 
 # --------------------------------------------------------------------------- #
@@ -452,13 +456,21 @@ def build_test(
     )
 
 
-def generate(config: DiyConfig) -> List[CLitmus]:
-    """Enumerate the configured test family, deterministically."""
+def generate(
+    config: DiyConfig, shapes: Optional[Registry] = None
+) -> List[CLitmus]:
+    """Enumerate the configured test family, deterministically.
+
+    ``shapes`` selects the shape registry the config's names resolve
+    against (defaults to the global one) — sessions pass their overlay so
+    privately registered shapes generate without touching globals.
+    """
+    shape_registry = shapes if shapes is not None else SHAPES
     tests: List[CLitmus] = []
     counters: Dict[str, int] = {}
     atomic_choices = (True, False) if config.include_plain else (True,)
     for shape_name in config.shapes:
-        shape = _SHAPES[shape_name]
+        shape = shape_registry.get(shape_name)
         has_rw = any(
             len(t) == 2 and t[0].kind == "R" and t[1].kind == "W"
             for t in shape.threads

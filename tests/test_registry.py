@@ -1,0 +1,188 @@
+"""The generic Registry protocol and the registries ported onto it."""
+
+import pytest
+
+from repro.asm.isa.base import ISAS, IsaError, get_isa, list_isas
+from repro.baselines import BASELINES, get_baseline, list_baselines
+from repro.cat.registry import MODELS, get_model, get_source, list_models, normalise
+from repro.compiler.profiles import EPOCHS, make_profile, parse_profile
+from repro.core.errors import CompilationError, ModelError
+from repro.core.registry import Registry, RegistryError
+from repro.tools.diy import SHAPES, get_shape, shape_names
+
+
+class TestRegistryProtocol:
+    def test_register_and_get(self):
+        reg = Registry("thing")
+        reg.register("alpha", 1)
+        assert reg.get("alpha") == 1
+        assert "alpha" in reg
+        assert reg["Alpha"] == 1  # default normalisation case-folds
+
+    def test_decorator_registration(self):
+        reg = Registry("factory")
+
+        @reg.register("builder", doc="makes things")
+        def build():
+            return 42
+
+        assert reg.get("builder") is build
+        assert reg.describe("builder")["doc"] == "makes things"
+
+    def test_aliases_resolve_and_are_listed(self):
+        reg = Registry("thing")
+        reg.register("canonical", 1, aliases=("alt", "other"))
+        assert reg.get("alt") == 1
+        assert reg.resolve("other") == "canonical"
+        assert reg.describe("canonical")["aliases"] == ["alt", "other"]
+        # aliases are not canonical names
+        assert reg.names() == ["canonical"]
+
+    def test_alias_added_after_the_fact(self):
+        reg = Registry("thing")
+        reg.register("canonical", 1)
+        reg.alias("late", "canonical")
+        assert reg.get("late") == 1
+
+    def test_unknown_name_did_you_mean(self):
+        reg = Registry("thing")
+        reg.register("campaign", 1)
+        with pytest.raises(RegistryError, match="did you mean campaign"):
+            reg.get("campain")
+
+    def test_unknown_name_lists_available(self):
+        reg = Registry("thing")
+        reg.register("a", 1)
+        reg.register("b", 2)
+        with pytest.raises(RegistryError, match="available: a, b"):
+            reg.get("zzz")
+
+    def test_custom_error_class(self):
+        reg = Registry("model", error=ModelError)
+        with pytest.raises(ModelError):
+            reg.get("nope")
+
+    def test_overlay_shadows_without_mutating_parent(self):
+        parent = Registry("thing")
+        parent.register("shared", "parent-value")
+        child = parent.overlay()
+        child.register("shared", "child-value")
+        child.register("private", "only-here")
+        assert child.get("shared") == "child-value"
+        assert parent.get("shared") == "parent-value"
+        assert "private" in child and "private" not in parent
+        assert child.is_local("shared") and not parent.overlay().is_local("shared")
+
+    def test_is_local_resolves_parent_aliases(self):
+        """A parent-defined alias for a locally shadowed entry is local."""
+        parent = Registry("thing")
+        parent.register("canonical", 1, aliases=("alt",))
+        child = parent.overlay()
+        child.register("canonical", 2)
+        assert child.is_local("alt")
+        assert child.get("alt") == 2
+
+    def test_overlay_falls_through_to_parent(self):
+        parent = Registry("thing")
+        parent.register("base", 7, aliases=("b",))
+        child = parent.overlay()
+        assert child.get("base") == 7
+        assert child.get("b") == 7  # parent aliases visible too
+        assert child.names() == ["base"]
+
+    def test_metadata_listing(self):
+        reg = Registry("thing")
+        reg.register("x", 1, doc="the x")
+        entries = reg.metadata()
+        assert entries == [{"name": "x", "aliases": [], "doc": "the x"}]
+
+
+class TestModelRegistry:
+    ALL_MODELS = (
+        "sc", "rc11", "rc11+lb", "c11_simp", "c11_partialsc", "x86tso",
+        "aarch64", "armv7", "armv7_buggy", "riscv", "ppc", "mips",
+    )
+
+    def test_every_model_listed(self):
+        assert list_models() == sorted(self.ALL_MODELS)
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_cat_suffix_and_case_for_all_models(self, name):
+        base = get_model(name)
+        assert get_model(f"{name}.cat") is base
+        assert get_model(name.upper()) is base
+        assert get_model(f"  {name}.CAT ") is base
+
+    def test_x86_tso_alias_paths(self):
+        base = get_model("x86tso")
+        assert get_model("x86-tso") is base
+        assert get_model("x86-tso.cat") is base
+        assert get_model("X86-TSO") is base  # the in-source header name
+        assert normalise("x86-tso.cat") == "x86tso"
+
+    def test_c11_partialsc_alias_fixed(self):
+        """The intended alias rewrite was hyphen→underscore (the model's
+        in-source header is ``C11-PARTIALSC``); the old code rewrote the
+        name to itself, a no-op."""
+        base = get_model("c11_partialsc")
+        assert get_model("c11-partialsc") is base
+        assert get_model("C11-PARTIALSC") is base
+        assert get_model("c11-partialsc.cat") is base
+        assert normalise("C11-PARTIALSC.cat") == "c11_partialsc"
+
+    def test_in_source_header_aliases(self):
+        assert get_model("RC11-LB") is get_model("rc11+lb")
+        assert get_model("c11-simp") is get_model("c11_simp")
+        assert get_model("armv7-buggy") is get_model("armv7_buggy")
+
+    def test_unknown_model_suggests(self):
+        with pytest.raises(ModelError, match="did you mean"):
+            get_model("rc12")
+
+    def test_get_source_via_alias(self):
+        assert get_source("x86-tso") == get_source("x86tso")
+
+    def test_registry_metadata_has_aliases(self):
+        meta = {entry["name"]: entry for entry in MODELS.metadata()}
+        assert "x86-tso" in meta["x86tso"]["aliases"]
+        assert "c11-partialsc" in meta["c11_partialsc"]["aliases"]
+
+
+class TestPortedRegistries:
+    def test_isa_registry(self):
+        assert list_isas() == sorted(
+            ["aarch64", "armv7", "x86_64", "riscv64", "ppc64", "mips64"]
+        )
+        assert get_isa("aarch64").name == "aarch64"
+        with pytest.raises(IsaError, match="did you mean"):
+            get_isa("aarch65")
+        assert ISAS.describe("x86_64")["name"] == "x86_64"
+
+    def test_shape_registry(self):
+        assert get_shape("LB").name == "LB"
+        assert get_shape("lb") is get_shape("LB")  # normalised
+        assert "LB" in shape_names() and "2+2W" in shape_names()
+        with pytest.raises(RegistryError, match="did you mean"):
+            get_shape("LBX")
+        assert SHAPES.describe("iriw")["threads"] == 4
+
+    def test_epoch_registry(self):
+        assert EPOCHS.get("llvm-16") == make_profile("llvm", "-O2", "aarch64").bug_flags
+        with pytest.raises(CompilationError, match="did you mean"):
+            make_profile("llvm", "-O2", "aarch64", version=15)
+
+    def test_parse_profile_round_trip(self):
+        for compiler, opt in (("llvm", "-O3"), ("gcc", "-Og")):
+            for arch in ("aarch64", "x86_64", "riscv64"):
+                profile = make_profile(compiler, opt, arch)
+                assert parse_profile(profile.name) == profile
+        old = make_profile("gcc", "-O1", "armv7", version=9)
+        assert parse_profile("gcc-O1-ARM-9") == old
+        with pytest.raises(CompilationError, match="bad profile name"):
+            parse_profile("just-llvm")
+
+    def test_baseline_registry(self):
+        assert list_baselines() == ["c4", "cmmtest", "validc"]
+        assert callable(get_baseline("cmm-test"))  # alias
+        with pytest.raises(RegistryError, match="did you mean"):
+            get_baseline("valid")
