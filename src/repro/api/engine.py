@@ -7,36 +7,55 @@ events as verdicts land (completion order, not work-list order), and
 :class:`~repro.pipeline.campaign.CampaignReport` — byte-for-byte what the
 batch API returned — from any complete stream.
 
-Extension surface note: the executors and the per-cell tool-chain entry
+Both campaign modes run through the one skeleton:
+
+* ``mode="tv"`` — translation validation, one cell per (test × arch ×
+  opt × compiler), evaluated by the staged toolchain's ``run_tv``;
+* ``mode="differential"`` — compiler vs compiler (paper §IV-D), one
+  cell per (test × profile pair), evaluated by ``run_differential``.
+  Cells tally under ``(arch, "diff", "<spec_a>|<spec_b>")``, so shard
+  merging, store replay and event folding need no special cases.
+
+Cell evaluation routes through the session's
+:class:`~repro.toolchain.Toolchain`, so the per-stage artifact cache is
+shared across cells, modes and models — a 2-profile differential
+campaign compiles each (test, profile) exactly once, and a model sweep
+over the same suite reuses every compiled litmus.
+
+Extension surface note: the executors and the per-cell tool-chain entries
 are late-bound through :mod:`repro.pipeline.campaign`'s namespace
 (``campaign.ThreadPoolExecutor``, ``campaign.ProcessPoolExecutor``,
-``campaign.test_compilation``), which has always been the place tests and
-embedders swap them.
+``campaign.test_compilation``, ``campaign.run_differential``), which has
+always been the place tests and embedders swap them.
 """
 
 from __future__ import annotations
 
+import itertools
 import time
 from concurrent.futures import as_completed
 from dataclasses import replace
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..cat.registry import ARCH_MODEL
-from ..compiler.profiles import DEFAULT_VERSION, make_profile
+from ..compiler.profiles import DEFAULT_VERSION, make_profile, parse_profile
 from ..core.errors import ModelError, ReproError
 from ..herd.enumerate import Budget
 from ..herd.simulator import SimulationResult, simulate_c
 from ..lang.ast import CLitmus
 from ..pipeline import campaign as campaign_mod
 from ..pipeline.campaign import (
+    STORE_SCHEMA,
     CampaignReport,
     SourceSimCache,
     _campaign_cells,
     _profile_name,
+    _shape_record,
     _verdict_record,
     merge_reports,
 )
 from ..pipeline.store import cell_key
+from ..toolchain import ArtifactCache, Toolchain, profile_signature
 from ..tools.l2c import prepare
 from .events import (
     CampaignEvent,
@@ -47,12 +66,22 @@ from .events import (
 )
 from .plan import CampaignPlan, PlanError
 
-#: one work item: (test, arch, opt, compiler)
+#: one work item: (test, arch, opt, compiler) for tv cells, and
+#: (test, arch, "diff", "<spec_a>|<spec_b>") for differential cells —
+#: one tuple shape so replay, events and folding share every code path.
 Cell = Tuple[CLitmus, str, str, str]
 
 #: per-process source caches for the ProcessPoolExecutor backend, keyed by
 #: the campaign parameters that change a source simulation.
 _WORKER_SOURCE_CACHES: Dict[Tuple, SourceSimCache] = {}
+
+#: per-process staged toolchain — artifact keys are content addresses, so
+#: worker-local caches stay sound and reuse compiles across that worker's
+#: cells exactly like the in-process path does.  The cache is *bounded*:
+#: workers live as long as the pool, and artifacts hold disassembly
+#: listings and outcome sets — an unbounded cache would grow linearly
+#: with the cells a worker evaluates (a 10k-test campaign would OOM).
+_WORKER_TOOLCHAIN = Toolchain(cache=ArtifactCache(max_entries=512))
 
 
 def _pool_cell(task: Tuple) -> Dict[str, object]:
@@ -88,12 +117,115 @@ def _pool_cell(task: Tuple) -> Dict[str, object]:
             augment=augment,
             budget=Budget(max_candidates=budget_candidates),
             source_result=source_result,
+            toolchain=_WORKER_TOOLCHAIN,
         )
 
     misses_before = cache.misses
     record = _verdict_record(
         litmus, arch, opt, compiler, source_model, augment, budget_candidates,
         produce_result,
+    )
+    record["source_simulated"] = cache.misses > misses_before
+    return record
+
+
+def _diff_base_record(
+    litmus: CLitmus,
+    arch: str,
+    label: str,
+    spec_a: str,
+    spec_b: str,
+    source_model: str,
+    augment: bool,
+    budget_candidates: int,
+) -> Dict[str, object]:
+    """The identity half of a differential verdict record.
+
+    ``label`` (``"<spec_a>|<spec_b>"``) stands in for the profile name in
+    the store key, so differential verdicts persist and resume through
+    the unchanged PR 2 store format.
+    """
+    return {
+        "schema": STORE_SCHEMA,
+        "digest": litmus.digest(),
+        "test": litmus.name,
+        "mode": "differential",
+        "arch": arch,
+        "opt": "diff",
+        "compiler": label,
+        "profile": label,
+        "profile_a": spec_a,
+        "profile_b": spec_b,
+        "source_model": source_model,
+        "augment": bool(augment),
+        "budget_candidates": budget_candidates,
+    }
+
+
+def _diff_verdict_record(
+    litmus: CLitmus,
+    arch: str,
+    label: str,
+    spec_a: str,
+    spec_b: str,
+    source_model: str,
+    augment: bool,
+    budget_candidates: int,
+    produce_result,
+) -> Dict[str, object]:
+    """Run one differential cell and shape its outcome as a verdict
+    record — same status contract (``_shape_record``) as tv cells."""
+    record = _shape_record(
+        _diff_base_record(
+            litmus, arch, label, spec_a, spec_b, source_model, augment,
+            budget_candidates,
+        ),
+        produce_result,
+    )
+    # identity fields win over the result's name-based rendering: plan
+    # profile *specs* may carry a version suffix profile names drop
+    record.update(
+        profile=label, profile_a=spec_a, profile_b=spec_b,
+        source_model=source_model,
+    )
+    return record
+
+
+def _pool_diff_cell(task: Tuple) -> Dict[str, object]:
+    """Evaluate one differential cell in a worker process (profiles are
+    re-parsed against the global registries; the session refuses to send
+    session-local epochs across the process boundary)."""
+    (litmus, arch, label, spec_a, spec_b, source_model, augment,
+     budget_candidates) = task
+    cache = _WORKER_SOURCE_CACHES.setdefault(
+        (source_model, augment, budget_candidates), SourceSimCache()
+    )
+    source_key = (litmus.digest(), source_model, augment, budget_candidates)
+
+    def produce_result():
+        source_result = cache.get(
+            source_key,
+            lambda: simulate_c(
+                prepare(litmus, augment=augment),
+                source_model,
+                budget=Budget(max_candidates=budget_candidates),
+            ),
+        )
+        return campaign_mod.run_differential(
+            litmus,
+            parse_profile(spec_a),
+            parse_profile(spec_b),
+            source_model=source_model,
+            augment=augment,
+            budget=Budget(max_candidates=budget_candidates),
+            source_result=source_result,
+            toolchain=_WORKER_TOOLCHAIN,
+        )
+
+    misses_before = cache.misses
+    record = _diff_verdict_record(
+        litmus, arch, label, spec_a, spec_b, source_model, augment,
+        budget_candidates, produce_result,
     )
     record["source_simulated"] = cache.misses > misses_before
     return record
@@ -106,6 +238,7 @@ def iter_campaign(plan: CampaignPlan, session) -> Iterator[CampaignEvent]:
     here, not at first ``next()``); simulation happens lazily as the
     returned stream is consumed.
     """
+    differential = plan.mode == "differential"
     if plan.resume and session.store is None:
         raise PlanError("resume=True needs a store to resume from")
     if plan.processes > 0 and session.caches_explicit:
@@ -114,7 +247,9 @@ def iter_campaign(plan: CampaignPlan, session) -> Iterator[CampaignEvent]:
             "processes; persist across process-pool campaigns with a store"
         )
     local = sorted(
-        session.local_model_names(plan) | session.local_epoch_names(plan)
+        session.local_model_names(plan)
+        | session.local_epoch_names(plan)
+        | session.local_stage_names(plan)
     )
     if local and plan.processes > 0:
         raise PlanError(
@@ -132,17 +267,50 @@ def iter_campaign(plan: CampaignPlan, session) -> Iterator[CampaignEvent]:
             f"globally or run this session without a store"
         )
 
+    # differential mode: resolve the profile pairs eagerly — an
+    # unresolvable or cross-architecture pairing is a plan mistake, not
+    # a per-cell error (there is nothing meaningful left to run)
+    pair_map: Dict[str, Tuple] = {}
+    if differential:
+        resolved_profiles = []
+        for spec in plan.profiles:
+            try:
+                resolved_profiles.append((spec, session.profile(spec)))
+            except ReproError as exc:
+                raise PlanError(
+                    f"differential profile {spec!r} failed to resolve: {exc}"
+                )
+        arches_used = sorted({p.arch for _, p in resolved_profiles})
+        if len(arches_used) != 1:
+            raise PlanError(
+                f"differential testing requires a common architecture; "
+                f"profiles target {arches_used}"
+            )
+        diff_arch = arches_used[0]
+        for (spec_a, prof_a), (spec_b, prof_b) in itertools.combinations(
+            resolved_profiles, 2
+        ):
+            pair_map[f"{spec_a}|{spec_b}"] = (spec_a, prof_a, spec_b, prof_b)
+
     tests = plan.resolve_tests(shapes=session.shapes)
     store = session.store
     source_cache = session.source_cache
     result_cache = session.result_cache
+    toolchain = session.toolchain()
     source_model = plan.source_model
     augment = plan.augment
     budget_candidates = plan.budget_candidates
 
-    work: List[Cell] = _campaign_cells(
-        tests, plan.arches, plan.opts, plan.compilers
-    )
+    if differential:
+        work: List[Cell] = [
+            (litmus, diff_arch, "diff", label)
+            for litmus in tests
+            for label in pair_map
+        ]
+    else:
+        work = _campaign_cells(
+            tests, plan.arches, plan.opts, plan.compilers
+        )
     if plan.shard is not None:
         shard_k, shard_n = plan.shard
         work = work[shard_k::shard_n]
@@ -208,6 +376,10 @@ def iter_campaign(plan: CampaignPlan, session) -> Iterator[CampaignEvent]:
 
         return source_cache.get(key, produce)
 
+    # the result cache must never replay cells computed by a stage set
+    # the session has since swapped out — the token is part of the key
+    stages_token = session.stages_token()
+
     def run_cell(litmus: CLitmus, arch: str, opt: str, compiler: str):
         # the session's epoch overlay decides which compiler bugs this
         # cell simulates (private epochs are process/store-guarded above)
@@ -215,7 +387,7 @@ def iter_campaign(plan: CampaignPlan, session) -> Iterator[CampaignEvent]:
         return result_cache.get(
             (litmus.digest(), profile.name, source_model, source_sig,
              arch_sig(arch), epoch_sig(compiler), augment,
-             budget_candidates),
+             budget_candidates, stages_token),
             lambda: campaign_mod.test_compilation(
                 litmus,
                 profile,
@@ -224,17 +396,59 @@ def iter_campaign(plan: CampaignPlan, session) -> Iterator[CampaignEvent]:
                 augment=augment,
                 budget=Budget(max_candidates=budget_candidates),
                 source_result=simulate_source(litmus),
+                toolchain=toolchain,
+            ),
+        )
+
+    def run_diff_cell(litmus: CLitmus, arch: str, label: str):
+        spec_a, prof_a, spec_b, prof_b = pair_map[label]
+        return result_cache.get(
+            (litmus.digest(), "diff", label, profile_signature(prof_a),
+             profile_signature(prof_b), source_model, source_sig,
+             arch_sig(arch), augment, budget_candidates, stages_token),
+            lambda: campaign_mod.run_differential(
+                litmus,
+                prof_a,
+                prof_b,
+                source_model=session.model(source_model),
+                target_model=session.arch_model(arch),
+                augment=augment,
+                budget=Budget(max_candidates=budget_candidates),
+                source_result=simulate_source(litmus),
+                toolchain=toolchain,
             ),
         )
 
     def evaluate(
         litmus: CLitmus, arch: str, opt: str, compiler: str
     ) -> Dict[str, object]:
+        if differential:
+            spec_a, _, spec_b, _ = pair_map[compiler]
+            return _diff_verdict_record(
+                litmus, arch, compiler, spec_a, spec_b, source_model,
+                augment, budget_candidates,
+                lambda: run_diff_cell(litmus, arch, compiler),
+            )
         return _verdict_record(
             litmus, arch, opt, compiler, source_model, augment,
             budget_candidates,
             lambda: run_cell(litmus, arch, opt, compiler),
         )
+
+    def pool_task(litmus: CLitmus, arch: str, opt: str, compiler: str) -> Tuple:
+        if differential:
+            spec_a, _, spec_b, _ = pair_map[compiler]
+            return (litmus, arch, compiler, spec_a, spec_b, source_model,
+                    augment, budget_candidates)
+        return (litmus, arch, opt, compiler, source_model, augment,
+                budget_candidates)
+
+    pool_fn = _pool_diff_cell if differential else _pool_cell
+
+    def store_profile_label(arch: str, opt: str, compiler: str) -> str:
+        if differential:
+            return compiler  # the "<spec_a>|<spec_b>" pair label
+        return _profile_name(compiler, opt, arch)
 
     # replay whatever the persistent store already knows (eager: cheap,
     # and the CampaignStarted event reports exact pending counts)
@@ -243,7 +457,7 @@ def iter_campaign(plan: CampaignPlan, session) -> Iterator[CampaignEvent]:
     for index, (litmus, arch, opt, compiler) in enumerate(work):
         if store is not None and plan.resume:
             key = cell_key(
-                litmus.digest(), _profile_name(compiler, opt, arch),
+                litmus.digest(), store_profile_label(arch, opt, compiler),
                 source_model, augment, budget_candidates,
             )
             stored = store.get(key)
@@ -266,6 +480,7 @@ def iter_campaign(plan: CampaignPlan, session) -> Iterator[CampaignEvent]:
             record=record,
             from_store=from_store,
             shard=plan.shard,
+            mode=plan.mode,
         )
 
     def events() -> Iterator[CampaignEvent]:
@@ -309,10 +524,9 @@ def iter_campaign(plan: CampaignPlan, session) -> Iterator[CampaignEvent]:
                 future_map = {}
                 try:
                     for index, item in pending:
-                        litmus, arch, opt, compiler = item
-                        task = (litmus, arch, opt, compiler, source_model,
-                                augment, budget_candidates)
-                        future_map[pool.submit(_pool_cell, task)] = (index, item)
+                        future_map[pool.submit(pool_fn, pool_task(*item))] = (
+                            index, item
+                        )
                     for future in as_completed(future_map):
                         index, item = future_map[future]
                         try:
@@ -402,7 +616,9 @@ def fold_events(events: Iterable[CampaignEvent]) -> CampaignReport:
     (events carry their index, so any completion order folds the same),
     and the aggregates only the run can know come from
     :class:`CampaignFinished`.  A stream containing :class:`ShardMerged`
-    checkpoints folds through :func:`merge_reports` instead.
+    checkpoints folds through :func:`merge_reports` instead.  Holds for
+    both modes: differential cells tally under their ``(arch, "diff",
+    pair)`` key with the same verdict vocabulary.
     """
     started: Optional[CampaignStarted] = None
     finished: Optional[CampaignFinished] = None

@@ -81,6 +81,9 @@ class CellFinished(CampaignEvent):
     #: True when replayed from the persistent store, not re-simulated
     from_store: bool = False
     shard: Optional[Tuple[int, int]] = None
+    #: "tv" or "differential" — for differential cells ``compiler``
+    #: carries the profile-pair label and ``opt`` is ``"diff"``
+    mode: str = "tv"
 
     @property
     def status(self) -> str:
@@ -90,6 +93,17 @@ class CellFinished(CampaignEvent):
     def verdict(self) -> Optional[str]:
         value = self.record.get("verdict")
         return None if value is None else str(value)
+
+    @property
+    def artifacts(self) -> Dict[str, str]:
+        """The ``{stage: artifact key}`` map into the toolchain's
+        content-addressed cache — which compiled litmus, outcome sets
+        and verdict produced this cell.  Empty for error/timeout cells
+        and for records persisted before the toolchain redesign."""
+        value = self.record.get("artifacts")
+        if not isinstance(value, Mapping):
+            return {}
+        return {str(k): str(v) for k, v in value.items()}
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -102,6 +116,7 @@ class CellFinished(CampaignEvent):
             "compiler": self.compiler,
             "from_store": self.from_store,
             "shard": list(self.shard) if self.shard else None,
+            "mode": self.mode,
             "record": dict(self.record),
         }
 

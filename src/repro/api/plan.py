@@ -10,19 +10,33 @@ Plans are plain data: hashable-free (tests are unhashable lists) but
 frozen, shareable between sessions, and splittable into deterministic
 shards (:meth:`CampaignPlan.split`) whose streams merge back into the
 single-run Table IV.
+
+Two axes arrived with the toolchain redesign:
+
+* ``tests`` accepts a streaming :class:`~repro.tools.sources.TestSource`
+  in place of an eager list — a 10k-test diy source costs nothing until
+  the engine resolves it;
+* ``mode="differential"`` runs compiler-vs-compiler cells (paper §IV-D)
+  over ``profiles`` — e.g. ``CampaignPlan(mode="differential",
+  profiles=("llvm-O1-AArch64", "llvm-O3-AArch64"))`` — through the same
+  engine, events, store and CLI as translation-validation campaigns.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 from ..core.errors import ReproError
 from ..lang.ast import CLitmus
-from ..tools.diy import DiyConfig, generate
+from ..tools.diy import DiyConfig
+from ..tools.sources import TestSource, as_source
 
 #: Table IV's row order — the default campaign sweep.
 DEFAULT_ARCHES = ("aarch64", "armv7", "riscv64", "ppc64", "x86_64", "mips64")
+
+#: the campaign modes the engine understands.
+MODES = ("tv", "differential")
 
 
 class PlanError(ReproError, ValueError):
@@ -37,8 +51,9 @@ class PlanError(ReproError, ValueError):
 class CampaignPlan:
     """Everything one campaign run needs, validated at construction."""
 
-    #: pre-generated tests; when ``None``, ``config`` drives generation
-    tests: Optional[Tuple[CLitmus, ...]] = None
+    #: pre-generated tests (or a streaming :class:`TestSource`); when
+    #: ``None``, ``config`` drives generation
+    tests: Union[Tuple[CLitmus, ...], TestSource, None] = None
     #: diy generation config (defaults to ``DiyConfig()`` when both are None)
     config: Optional[DiyConfig] = None
     arches: Tuple[str, ...] = DEFAULT_ARCHES
@@ -55,12 +70,23 @@ class CampaignPlan:
     shard: Optional[Tuple[int, int]] = None
     #: replay verdicts already in the session's store
     resume: bool = False
+    #: "tv" (source vs compiled, the default) or "differential"
+    #: (compiler vs compiler over ``profiles``, paper §IV-D)
+    mode: str = "tv"
+    #: differential mode only: the profile names/specs under comparison —
+    #: every unordered pair becomes one cell per test.  In differential
+    #: mode ``source_model`` is the undefined-behaviour oracle.
+    profiles: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         # coerce the sequence fields so list-passing callers still freeze
-        for name in ("tests", "arches", "opts", "compilers"):
+        # (a streaming TestSource passes through *unmaterialised*)
+        for name in ("tests", "arches", "opts", "compilers", "profiles"):
             value = getattr(self, name)
-            if value is not None and not isinstance(value, tuple):
+            if (
+                value is not None
+                and not isinstance(value, (tuple, TestSource))
+            ):
                 object.__setattr__(self, name, tuple(value))
         if self.shard is not None and not isinstance(self.shard, tuple):
             object.__setattr__(self, "shard", tuple(self.shard))
@@ -72,6 +98,25 @@ class CampaignPlan:
         if self.budget_candidates < 1:
             raise PlanError(
                 f"budget_candidates must be >= 1, got {self.budget_candidates}"
+            )
+        if self.mode not in MODES:
+            raise PlanError(
+                f"unknown campaign mode {self.mode!r}; expected one of {MODES}"
+            )
+        if self.mode == "differential":
+            if self.profiles is None or len(self.profiles) < 2:
+                raise PlanError(
+                    "differential mode needs profiles=(a, b, ...) — at "
+                    "least two compiler profiles to compare"
+                )
+            if len(set(self.profiles)) != len(self.profiles):
+                raise PlanError(
+                    f"differential profiles contain duplicates: "
+                    f"{self.profiles}"
+                )
+        elif self.profiles is not None:
+            raise PlanError(
+                'profiles= is only meaningful with mode="differential"'
             )
         # NOTE: arch/compiler/opt *membership* is deliberately not
         # validated here — at campaign scale an unbuildable profile is an
@@ -91,14 +136,19 @@ class CampaignPlan:
 
     # ------------------------------------------------------------------ #
     def resolve_tests(self, shapes=None) -> Tuple[CLitmus, ...]:
-        """The concrete test list (generating from ``config`` if needed).
+        """The concrete test list (generating from ``config`` or draining
+        a streaming source if needed).
 
         ``shapes`` is the shape registry config names resolve against —
         the engine passes the session's overlay, so plans can name
-        session-private shapes."""
-        if self.tests is not None:
-            return self.tests
-        return tuple(generate(self.config or DiyConfig(), shapes=shapes))
+        session-private shapes.  This is the single point where a
+        :class:`TestSource` materialises: plans hold sources lazily, the
+        engine resolves them once per run."""
+        if isinstance(self.tests, tuple):
+            return self.tests  # already materialised — no copy
+        return tuple(
+            as_source(self.tests, self.config).iter_tests(shapes=shapes)
+        )
 
     def split(self, n: int) -> Tuple["CampaignPlan", ...]:
         """The n deterministic shard plans of this (unsharded) plan."""
@@ -114,8 +164,14 @@ class CampaignPlan:
 
     def describe(self) -> Dict[str, object]:
         """A JSON-able summary (no test bodies — those can be huge)."""
+        if isinstance(self.tests, TestSource):
+            tests: object = self.tests.describe()
+        elif self.tests is None:
+            tests = None
+        else:
+            tests = len(self.tests)
         return {
-            "tests": None if self.tests is None else len(self.tests),
+            "tests": tests,
             "config": None if self.config is None else self.config.__class__.__name__,
             "arches": list(self.arches),
             "opts": list(self.opts),
@@ -127,4 +183,6 @@ class CampaignPlan:
             "processes": self.processes,
             "shard": list(self.shard) if self.shard else None,
             "resume": self.resume,
+            "mode": self.mode,
+            "profiles": None if self.profiles is None else list(self.profiles),
         }

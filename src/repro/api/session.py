@@ -17,7 +17,7 @@ private models and profiles, over one shared process.
 from __future__ import annotations
 
 import os
-from typing import Callable, Iterable, Optional, Set, Union
+from typing import Callable, Iterable, Optional, Set, Tuple, Union
 
 from ..asm.isa.base import ISAS, Isa, ensure_registered
 from ..baselines.registry import BASELINES
@@ -30,12 +30,18 @@ from ..compiler.profiles import (
     make_profile,
     parse_profile,
 )
-from ..core.errors import ModelError
+from ..core.errors import ModelError, ReproError
 from ..herd.enumerate import Budget
 from ..lang.ast import CLitmus
 from ..pipeline.campaign import CampaignReport, ResultCache, SourceSimCache
 from ..pipeline.store import CampaignStore
-from ..pipeline.telechat import TelechatResult, run_test_tv
+from ..pipeline.telechat import (
+    DifferentialResult,
+    TelechatResult,
+    run_differential,
+    run_test_tv,
+)
+from ..toolchain import STAGES, ArtifactCache, Stage, Toolchain, ToolchainTrace
 from ..tools.diy import SHAPES, Shape
 from .engine import CampaignStream, iter_campaign, iter_sharded
 from .events import CampaignEvent
@@ -53,6 +59,12 @@ class Session:
             (``None`` = unbudgeted, the engine default).
         source_cache / result_cache: share caches *across* sessions (a
             re-run service); by default each session gets fresh ones.
+        artifact_cache_entries: per-stage bound on the toolchain's
+            artifact cache (compiled objects, listings and outcome sets
+            are heavyweight — unbounded, the cache grows linearly with
+            the cells a long-lived session evaluates).  When a stage
+            exceeds the bound its cache is dropped and recomputed on
+            demand; pass ``None`` for unbounded.
     """
 
     def __init__(
@@ -62,6 +74,7 @@ class Session:
         budget_candidates: Optional[int] = None,
         source_cache: Optional[SourceSimCache] = None,
         result_cache: Optional[ResultCache] = None,
+        artifact_cache_entries: Optional[int] = 4096,
     ) -> None:
         #: per-session registry overlays — register here without
         #: touching the process-global tables
@@ -71,6 +84,16 @@ class Session:
         self.isas = ISAS.overlay()
         self.epochs = EPOCHS.overlay()
         self.baselines = BASELINES.overlay()
+        self.stages = STAGES.overlay()
+        #: the session's staged tool-chain: stage resolution through the
+        #: session overlay, model identity through the session models,
+        #: and a per-session content-addressed artifact cache shared by
+        #: every test/differential/campaign run in this session
+        self._toolchain = Toolchain(
+            stages=self.stages,
+            models=self.models,
+            cache=ArtifactCache(max_entries=artifact_cache_entries),
+        )
 
         self.caches_explicit = (
             source_cache is not None or result_cache is not None
@@ -118,6 +141,19 @@ class Session:
     def register_baseline(self, name: str, check: Callable, **meta: object) -> Callable:
         return self.baselines.register(name, check, **meta)
 
+    def register_stage(self, stage: Stage, **meta: object) -> Stage:
+        """Swap a tool-chain stage for this session only.
+
+        ``stage.name`` decides which slot it fills ("prepare",
+        "compile", "lift", "simulate-source", "simulate-target",
+        "compare") — registering under an existing name shadows the
+        stock stage for every :meth:`test`/:meth:`differential`/campaign
+        run through this session.  A replacement that computes something
+        different should return a distinct :meth:`Stage.signature` so
+        its artifacts never collide with stock ones in a shared cache.
+        """
+        return self.stages.register(stage.name, stage, **meta)
+
     # ------------------------------------------------------------------ #
     # resolution (overlay-aware)
     # ------------------------------------------------------------------ #
@@ -157,12 +193,27 @@ class Session:
             return make_profile(*spec, epochs=self.epochs)
         return parse_profile(spec, epochs=self.epochs)
 
+    def _plan_arches(self, plan: CampaignPlan) -> Set[str]:
+        """The architectures a plan will actually compile for — the
+        sweep's arches in tv mode, the profiles' (common) arch in
+        differential mode."""
+        if plan.mode == "differential" and plan.profiles:
+            arches: Set[str] = set()
+            for spec in plan.profiles:
+                try:
+                    arches.add(self.profile(spec).arch)
+                except ReproError:
+                    continue  # unresolvable specs abort in the engine
+            return arches
+        return set(plan.arches)
+
     def local_model_names(self, plan: CampaignPlan) -> Set[str]:
         """The plan's models that only this session knows — the set that
         cannot cross a process-pool boundary or be keyed in a store."""
         names = [plan.source_model]
         names.extend(
-            ARCH_MODEL[arch] for arch in plan.arches if arch in ARCH_MODEL
+            ARCH_MODEL[arch] for arch in self._plan_arches(plan)
+            if arch in ARCH_MODEL
         )
         return {
             name for name in names
@@ -171,16 +222,56 @@ class Session:
 
     def local_epoch_names(self, plan: CampaignPlan) -> Set[str]:
         """The plan's compiler epochs that only this session knows.
-        Campaigns build default-version profiles, so the relevant epochs
-        are ``<compiler>-<default version>``."""
-        names = [
-            f"{compiler}-{DEFAULT_VERSION[compiler]}"
-            for compiler in plan.compilers if compiler in DEFAULT_VERSION
-        ]
+
+        tv campaigns build default-version profiles, so the relevant
+        epochs are ``<compiler>-<default version>``; differential plans
+        name their profiles explicitly (a spec may pin any version), so
+        the epochs behind each resolved profile count."""
+        if plan.mode == "differential" and plan.profiles:
+            names = []
+            for spec in plan.profiles:
+                try:
+                    profile = self.profile(spec)
+                except ReproError:
+                    continue
+                names.append(f"{profile.compiler}-{profile.version}")
+        else:
+            names = [
+                f"{compiler}-{DEFAULT_VERSION[compiler]}"
+                for compiler in plan.compilers if compiler in DEFAULT_VERSION
+            ]
         return {
             name for name in names
             if name in self.epochs and self.epochs.is_local(name)
         }
+
+    def local_stage_names(self, plan: CampaignPlan) -> Set[str]:
+        """Tool-chain stages swapped in this session's overlay.
+
+        Like session-local models and epochs, a swapped stage cannot
+        cross a process-pool boundary (workers build their toolchain
+        from the global registry) and cannot be keyed in a persistent
+        store (records key verdicts by name, not by stage identity) —
+        the engine refuses both rather than silently running the stock
+        stage."""
+        return {
+            f"stage:{name}" for name in self.stages.names()
+            if self.stages.is_local(name)
+        }
+
+    def stages_token(self) -> Tuple:
+        """An in-memory identity of the session's *effective* stage set.
+
+        Part of the result-cache key, so re-registering a stage
+        mid-session re-simulates instead of replaying results the old
+        stage computed.  The token holds the stage *objects* (compared
+        by identity), not their ``id()``s — a bare id could be recycled
+        by a later allocation once the old stage is garbage-collected,
+        silently reviving stale cache entries.  The result cache never
+        leaves this process, so object identity is sound."""
+        return tuple(
+            (name, self.stages.get(name)) for name in self.stages.names()
+        )
 
     # ------------------------------------------------------------------ #
     # running things
@@ -217,6 +308,87 @@ class Session:
             unroll=unroll,
             budget=budget,
             source_result=source_result,
+            toolchain=self._toolchain,
+        )
+
+    def differential(
+        self,
+        litmus: CLitmus,
+        profile_a: Union[str, CompilerProfile, tuple],
+        profile_b: Union[str, CompilerProfile, tuple],
+        *,
+        source_model: Optional[Union[str, Model]] = "rc11",
+        target_model: Optional[Union[str, Model]] = None,
+        augment: bool = True,
+        optimise: bool = True,
+        unroll: int = 2,
+        budget: Optional[Budget] = None,
+    ) -> DifferentialResult:
+        """Differential-test one C litmus test under two profiles
+        (paper §IV-D) through the session's staged toolchain — compile
+        and lift artifacts are shared with every other run in this
+        session.  ``source_model`` is the undefined-behaviour oracle
+        (pass ``None`` to skip the C-source simulation entirely)."""
+        if budget is None and self.budget_candidates is not None:
+            budget = Budget(max_candidates=self.budget_candidates)
+        resolved_source = (
+            None if source_model is None else self.model(source_model)
+        )
+        return run_differential(
+            litmus,
+            self.profile(profile_a),
+            self.profile(profile_b),
+            source_model=resolved_source,
+            target_model=(
+                None if target_model is None else self.model(target_model)
+            ),
+            augment=augment,
+            optimise=optimise,
+            unroll=unroll,
+            budget=budget,
+            toolchain=self._toolchain,
+        )
+
+    def toolchain(self) -> "Toolchain":
+        """The session's staged tool-chain — run stages individually,
+        inspect ``.describe()`` (stage inventory + per-stage cache
+        counters), or pass to the bare engine entry points."""
+        return self._toolchain
+
+    def explain(
+        self,
+        litmus: CLitmus,
+        profile: Union[str, CompilerProfile, tuple],
+        *,
+        differential_with: Optional[
+            Union[str, CompilerProfile, tuple]
+        ] = None,
+        source_model: Union[str, Model] = "rc11",
+        target_model: Optional[Union[str, Model]] = None,
+        augment: bool = True,
+        optimise: bool = True,
+        unroll: int = 2,
+        budget: Optional[Budget] = None,
+    ) -> ToolchainTrace:
+        """Run the chain with a stage trace (executions kept for the
+        herd dot dumps) — the engine behind ``repro explain``."""
+        if budget is None and self.budget_candidates is not None:
+            budget = Budget(max_candidates=self.budget_candidates)
+        return self._toolchain.explain(
+            litmus,
+            self.profile(profile),
+            differential_with=(
+                None if differential_with is None
+                else self.profile(differential_with)
+            ),
+            source_model=self.model(source_model),
+            target_model=(
+                None if target_model is None else self.model(target_model)
+            ),
+            augment=augment,
+            optimise=optimise,
+            unroll=unroll,
+            budget=budget,
         )
 
     def campaign(self, plan: CampaignPlan) -> CampaignStream:

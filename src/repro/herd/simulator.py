@@ -47,6 +47,10 @@ class SimulationResult:
     stats: EnumerationStats
     #: allowed executions paired with their outcome (kept only on request)
     executions: Tuple[Tuple[Execution, Outcome], ...] = ()
+    #: wall-clock the enumeration took.  Cached/hoisted consumers (the
+    #: campaign runner reuses one source simulation across many cells)
+    #: read the *original* cost from here instead of reporting zero.
+    elapsed_seconds: float = 0.0
 
     @property
     def has_undefined_behaviour(self) -> bool:
@@ -84,6 +88,7 @@ def run_programs(
     """
     if isinstance(model, str):
         model = get_model(model)
+    start = time.perf_counter()
     compiled = model.compile()
     stats = EnumerationStats()
     enumerator = ExecutionEnumerator(
@@ -131,6 +136,7 @@ def run_programs(
         flagged_outcomes=frozenset(flagged_outcomes),
         stats=stats,
         executions=tuple(kept),
+        elapsed_seconds=time.perf_counter() - start,
     )
 
 

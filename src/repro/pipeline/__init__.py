@@ -12,11 +12,13 @@ from .campaign import (
 )
 from .store import CampaignStore, cell_key, record_key
 from .telechat import (
+    DifferentialResult,
     TelechatResult,
     comparison_from_record,
     differential_outcomes,
     outcomes_from_jsonable,
     outcomes_to_jsonable,
+    run_differential,
     run_test_tv,
     test_compilation,
 )
@@ -36,7 +38,9 @@ __all__ = [
     "outcomes_to_jsonable",
     "record_key",
     "run_campaign",
+    "run_differential",
     "run_test_tv",
+    "DifferentialResult",
     "TelechatResult",
     "differential_outcomes",
     "test_compilation",

@@ -33,7 +33,6 @@ by two different tests named ``LB001``.
 
 from __future__ import annotations
 
-import threading
 # The executors are re-exported module attributes, not mere imports: this
 # module's namespace is the campaign engine's historical
 # extension/monkeypatch surface.  The streaming engine in
@@ -58,6 +57,7 @@ from ..compiler.profiles import (
     LLVM_OPT_LEVELS,
     make_profile,
 )
+from ..core.cache import KeyedCache
 from ..core.errors import ReproError, SimulationTimeout
 from ..lang.ast import CLitmus
 from ..tools.diy import DiyConfig
@@ -66,6 +66,8 @@ from .telechat import TelechatResult
 # bound as a module attribute — and NOT the deprecation shim — for the
 # same late-binding reason as the executors above
 from .telechat import run_test_tv as test_compilation  # noqa: F401
+# the differential cell evaluator, same late-binding surface
+from .telechat import run_differential  # noqa: F401
 
 #: Table IV's column order.
 CAMPAIGN_OPTS = ("-O1", "-O2", "-O3", "-Ofast", "-Og")
@@ -125,62 +127,12 @@ class CampaignCell:
         self.errors += other.errors
 
 
-class _KeyedCache:
-    """A thread-safe exactly-once cache with hit/miss counters.
-
-    ``get(key, producer)`` runs ``producer`` at most once per key — even
-    under the campaign worker pool — and replays its result (or the
-    :class:`SimulationTimeout` / :class:`ReproError` it raised) to every
-    later caller.  Exceptions are cached too so a timing-out source test
-    is not re-simulated once per campaign cell.
-    """
-
-    def __init__(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self._store: Dict = {}
-        self._inflight: set = set()
-        self._cond = threading.Condition()
-
-    def __len__(self) -> int:
-        return len(self._store)
-
-    def get(self, key, producer: Callable):
-        with self._cond:
-            while True:
-                if key in self._store:
-                    self.hits += 1
-                    kind, payload = self._store[key]
-                    if kind == "error":
-                        raise payload
-                    return payload
-                if key not in self._inflight:
-                    # we claim this key; the producer runs outside the
-                    # lock so distinct keys simulate concurrently
-                    self._inflight.add(key)
-                    self.misses += 1
-                    break
-                self._cond.wait()
-        try:
-            entry = ("value", producer())
-        except (SimulationTimeout, ReproError) as exc:
-            entry = ("error", exc)
-        except BaseException:
-            # unexpected failure: don't cache, don't strand the waiters
-            with self._cond:
-                self._inflight.discard(key)
-                self._cond.notify_all()
-            raise
-        with self._cond:
-            self._store[key] = entry
-            self._inflight.discard(key)
-            self._cond.notify_all()
-        if entry[0] == "error":
-            raise entry[1]
-        return entry[1]
+# the campaign caches' exactly-once contract now lives in core; the old
+# private name stays bound for embedders that reached for it
+_KeyedCache = KeyedCache
 
 
-class SourceSimCache(_KeyedCache):
+class SourceSimCache(KeyedCache):
     """Source-side simulations keyed by
     ``(test digest, source_model, augment, budget_candidates)``.
 
@@ -194,7 +146,7 @@ class SourceSimCache(_KeyedCache):
         return self.misses
 
 
-class ResultCache(_KeyedCache):
+class ResultCache(KeyedCache):
     """Full test_tv results keyed by
     ``(test digest, profile, source_model, augment, budget_candidates)``.
 
@@ -310,17 +262,35 @@ class CampaignReport:
             f"{parallelism})",
             "",
         ]
+        diff_cells = {
+            key: cell for key, cell in self.cells.items() if key[1] == "diff"
+        }
+        tv_cells = {
+            key: cell for key, cell in self.cells.items() if key[1] != "diff"
+        }
+        if diff_cells:
+            lines.append("Differential pairs (compiler vs compiler, §IV-D):")
+            for (arch, _, pair), cell in sorted(diff_cells.items()):
+                lines.append(
+                    f"  {arch:10s} {pair}: "
+                    f"+ve {cell.positive}, -ve {cell.negative}, "
+                    f"equal {cell.equal}, ub-masked {cell.ub_masked}, "
+                    f"timeouts {cell.timeouts}, errors {cell.errors}"
+                )
+            if not tv_cells:
+                return "\n".join(lines)
+            lines.append("")
         header = f"{'':28s}" + "".join(f"{opt:>14s}" for opt in CAMPAIGN_OPTS)
         lines.append(header)
         for arch, display in ARCH_DISPLAY:
-            if not any(a == arch for (a, _, _) in self.cells):
+            if not any(a == arch for (a, _, _) in tv_cells):
                 continue
             lines.append(f"{display} clang/gcc")
             for sign, attr in (("+ve", "positive"), ("-ve", "negative")):
                 row = f"  {sign:26s}"
                 for opt in CAMPAIGN_OPTS:
-                    clang = self.cells.get((arch, opt, "llvm"))
-                    gcc = self.cells.get((arch, opt, "gcc"))
+                    clang = tv_cells.get((arch, opt, "llvm"))
+                    gcc = tv_cells.get((arch, opt, "gcc"))
                     cv = getattr(clang, attr) if clang else "-"
                     gv = getattr(gcc, attr) if gcc else "-"
                     row += f"{str(cv)+'/'+str(gv):>14s}"
@@ -423,6 +393,28 @@ def _base_record(
     }
 
 
+def _shape_record(
+    base: Dict[str, object], produce_result: Callable
+) -> Dict[str, object]:
+    """Run one cell producer and shape its outcome onto ``base``.
+
+    The single status contract shared by every execution backend *and*
+    both campaign modes — serial, thread pool and process pool must emit
+    byte-identical record shapes or the store would replay whichever
+    backend wrote last, and a new status class added here reaches tv and
+    differential records together.
+    """
+    try:
+        result = produce_result()
+    except SimulationTimeout:
+        return dict(base, status="timeout")
+    except ReproError:
+        return dict(base, status="error")
+    record = dict(base, status="ok")
+    record.update(result.to_record())
+    return record
+
+
 def _verdict_record(
     litmus: CLitmus,
     arch: str,
@@ -433,24 +425,14 @@ def _verdict_record(
     budget_candidates: int,
     produce_result: Callable[[], TelechatResult],
 ) -> Dict[str, object]:
-    """Run one cell and shape its outcome as a verdict record.
-
-    The single record constructor shared by every execution backend —
-    serial, thread pool and process pool must emit byte-identical record
-    shapes or the store would replay whichever backend wrote last.
-    """
-    base = _base_record(
-        litmus, arch, opt, compiler, source_model, augment, budget_candidates
+    """Run one tv cell and shape its outcome as a verdict record."""
+    return _shape_record(
+        _base_record(
+            litmus, arch, opt, compiler, source_model, augment,
+            budget_candidates,
+        ),
+        produce_result,
     )
-    try:
-        result = produce_result()
-    except SimulationTimeout:
-        return dict(base, status="timeout")
-    except ReproError:
-        return dict(base, status="error")
-    record = dict(base, status="ok")
-    record.update(result.to_record())
-    return record
 
 
 def run_campaign(

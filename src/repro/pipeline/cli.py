@@ -10,6 +10,13 @@ Mirrors the paper artefact's Makefile entry points:
 * ``telechat campaign`` — the scaled Table IV campaign, with live
   per-cell progress on a tty (``--progress``/``--no-progress`` to force)
   and ``--json`` emitting the typed event stream as JSON lines;
+  ``--differential A B`` runs the compiler-vs-compiler mode (§IV-D)
+  over the given profile names instead of the tv sweep;
+* ``telechat explain TEST`` — run the staged tool-chain on one test
+  (a C litmus file, a paper figure name like ``fig7_lb``, or a diy
+  shape name) and print every stage's artifact: the prepared source,
+  the disassembly, the lifted litmus, both outcome sets (with the herd
+  execution dot dump) and the mcompare verdict;
 * ``telechat models`` / ``telechat shapes`` / ``telechat profiles`` —
   inventory listings (``--json`` for registry metadata).
 
@@ -70,11 +77,69 @@ def _cmd_test(args: argparse.Namespace) -> int:
     return 1 if result.found_bug else 0
 
 
+def _resolve_test_arg(session: Session, spec: str):
+    """A test named on the command line: a C litmus file path, a paper
+    figure name (``fig7_lb``), or a diy shape name (``LB``)."""
+    import os
+
+    from .. import papertests
+
+    if os.path.exists(spec):
+        with open(spec) as handle:
+            return parse_c_litmus(handle.read(), name=spec)
+    factory = getattr(papertests, spec, None)
+    if callable(factory):
+        return factory()
+    try:
+        shape = session.shape(spec)
+    except KeyError:
+        raise SystemExit(
+            f"cannot resolve test {spec!r}: not a file, not a "
+            f"repro.papertests name, not a diy shape"
+        )
+    # a real generation failure propagates — masking it as "cannot
+    # resolve" would hide the actual error from the user
+    return build_test(shape, "rlx", name=spec)
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Print each tool-chain stage's artifact for one test."""
+    session = Session()
+    litmus = _resolve_test_arg(session, args.test)
+    from ..herd.enumerate import Budget
+
+    trace = session.explain(
+        litmus,
+        (args.compiler, args.opt, args.arch),
+        differential_with=args.diff,
+        source_model=args.cmem,
+        optimise=not args.no_optimise,
+        budget=Budget(deadline_seconds=args.timeout),
+    )
+    print(trace.render())
+    verdict = trace.result.verdict
+    print(f"verdict: {verdict}")
+    return 1 if verdict == "positive" else 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.resume and not args.store:
         print("--resume needs --store", file=sys.stderr)
         return 2
+    if args.differential and len(args.differential) < 2:
+        print("--differential needs at least two profile names "
+              "(e.g. --differential llvm-O1-AArch64 llvm-O3-AArch64)",
+              file=sys.stderr)
+        return 2
+    if args.differential and (args.arch or args.opt):
+        # the sweep axes come from the profile names in differential
+        # mode; silently ignoring explicit flags would misreport what ran
+        print("--differential takes its architectures and optimisation "
+              "levels from the profile names; drop --arch/--opt",
+              file=sys.stderr)
+        return 2
     config = small_config() if args.small else DiyConfig()
+    differential = bool(args.differential)
     plan = CampaignPlan(
         config=config,
         arches=tuple(args.arch) if args.arch else tuple(ARCHES),
@@ -84,6 +149,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         processes=args.processes,
         shard=args.shard,
         resume=args.resume,
+        mode="differential" if differential else "tv",
+        profiles=tuple(args.differential) if differential else None,
     )
     store = CampaignStore(args.store) if args.store else None
     session = Session(store=store)
@@ -207,6 +274,32 @@ def build_parser() -> argparse.ArgumentParser:
     test.add_argument("--timeout", type=float, default=120.0)
     test.set_defaults(func=_cmd_test)
 
+    explain = sub.add_parser(
+        "explain",
+        help="run the staged tool-chain on one test and print every "
+             "stage's artifact (prepared source, disassembly, lifted "
+             "litmus, outcome sets with dot dumps, verdict)",
+    )
+    explain.add_argument(
+        "test",
+        help="a C litmus file, a paper figure name (fig7_lb), or a diy "
+             "shape name (LB)",
+    )
+    explain.add_argument("--compiler", choices=("llvm", "gcc"),
+                         default="llvm")
+    explain.add_argument("--opt", default="-O3")
+    explain.add_argument("--arch", choices=ARCHES, default="aarch64")
+    explain.add_argument("--cmem", default="rc11", help="source model (CMEM)")
+    explain.add_argument("--diff", metavar="PROFILE",
+                         help="differential mode: compare against this "
+                              "profile name (e.g. gcc-O2-AArch64) instead "
+                              "of the source model")
+    explain.add_argument("--no-optimise", action="store_true",
+                         help="skip the s2l optimiser (paper Fig. 11 "
+                              "configuration — slow)")
+    explain.add_argument("--timeout", type=float, default=120.0)
+    explain.set_defaults(func=_cmd_explain)
+
     campaign = sub.add_parser("campaign", help="run the Table IV campaign")
     campaign.add_argument("--small", action="store_true")
     campaign.add_argument("--arch", action="append", choices=ARCHES)
@@ -225,6 +318,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="run only the K-th of N cell shards "
                                "(0-based); merge the shard reports with "
                                "repro.pipeline.merge_reports")
+    campaign.add_argument("--differential", nargs="+", metavar="PROFILE",
+                          help="differential mode (§IV-D): compare these "
+                               "profile names (e.g. llvm-O1-AArch64 "
+                               "llvm-O3-AArch64) pairwise instead of the "
+                               "tv sweep; --cmem is the UB oracle")
     campaign.add_argument("--json", action="store_true",
                           help="emit the typed event stream as JSON lines "
                                "instead of the Table IV report")

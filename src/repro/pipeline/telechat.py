@@ -1,126 +1,39 @@
-"""The T´el´echat driver: the ``test_tv`` environment of paper Fig. 5.
+"""The T´el´échat driver: the ``test_tv`` environment of paper Fig. 5.
 
-One call to :func:`test_compilation` runs the whole tool-chain on one
-test and one compiler profile::
+One call to :func:`run_test_tv` runs the whole tool-chain on one test
+and one compiler profile::
 
     S ──l2c──> S′ ──c2s──> O ──s2l──> C
     herd(S′, M_S)  ⊇?  herd(C, M_C)          (mcompare)
 
-The result records the comparison verdict, both outcome sets, the
-compiled litmus test, and the simulation/optimisation statistics the
-paper's scalability claims are stated in.
+Since the toolchain redesign this module is a thin composition layer:
+the chain itself lives in :mod:`repro.toolchain` as typed, individually
+cached stages, and both entry points here — :func:`run_test_tv` and
+:func:`differential_outcomes` — build on the same
+:class:`~repro.toolchain.Toolchain` graph.  The historical result and
+serialisation types (:class:`TelechatResult`,
+:func:`outcomes_to_jsonable`, …) are re-exported from
+:mod:`repro.toolchain.results` unchanged.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Optional, Tuple, Union
 
-from ..asm.litmus import AsmLitmus, total_instructions
 from ..cat.interp import Model
-from ..cat.registry import arch_model, get_model
-from ..compiler.profiles import CompilerProfile
-from ..core.errors import ReproError, SimulationTimeout
-from ..core.execution import Outcome
 from ..herd.enumerate import Budget
-from ..herd.simulator import SimulationResult, simulate_asm, simulate_c
+from ..herd.simulator import SimulationResult
 from ..lang.ast import CLitmus
-from ..tools.c2s import compile_and_disassemble
-from ..tools.l2c import prepare
-from ..tools.mcompare import ComparisonResult, mcompare
-from ..tools.s2l import S2LStats, assembly_to_litmus
-
-
-# --------------------------------------------------------------------------- #
-# record (de)serialisation — the persistent campaign store's currency
-# --------------------------------------------------------------------------- #
-def outcomes_to_jsonable(outcomes: Iterable[Outcome]) -> List[List[List[object]]]:
-    """Serialise an outcome set to a canonical (sorted) JSON-able form."""
-    return sorted([[k, v] for k, v in o.bindings] for o in outcomes)
-
-
-def outcomes_from_jsonable(data: Iterable[Iterable[Sequence[object]]]) -> FrozenSet[Outcome]:
-    """Rebuild an outcome set serialised by :func:`outcomes_to_jsonable`."""
-    return frozenset(
-        Outcome(tuple((str(k), int(v)) for k, v in bindings)) for bindings in data
-    )
-
-
-def comparison_from_record(record: Dict[str, object]) -> ComparisonResult:
-    """Rebuild a :class:`ComparisonResult` from a stored verdict record."""
-    return ComparisonResult(
-        test_name=str(record["test"]),
-        source_model=str(record["source_model"]),
-        target_model=str(record["target_model"]),
-        source_outcomes=outcomes_from_jsonable(record["source_outcomes"]),
-        target_outcomes=outcomes_from_jsonable(record["target_outcomes"]),
-        positive=outcomes_from_jsonable(record["positive"]),
-        negative=outcomes_from_jsonable(record["negative"]),
-        source_has_ub=bool(record["source_has_ub"]),
-    )
-
-
-@dataclass
-class TelechatResult:
-    """Everything one test_tv run produced."""
-
-    test_name: str
-    profile: CompilerProfile
-    comparison: ComparisonResult
-    source_result: SimulationResult
-    target_result: SimulationResult
-    compiled: AsmLitmus
-    s2l_stats: S2LStats
-    source_seconds: float
-    target_seconds: float
-    compile_seconds: float
-    #: True when the source simulation was reused (hoisted or cached)
-    #: rather than run inside this call
-    source_reused: bool = False
-
-    @property
-    def verdict(self) -> str:
-        return self.comparison.verdict()
-
-    @property
-    def found_bug(self) -> bool:
-        """A positive difference not excused by source undefined behaviour
-        (paper def. II.3)."""
-        return self.comparison.is_positive
-
-    @property
-    def compiled_loc(self) -> int:
-        return total_instructions(self.compiled)
-
-    def to_record(self) -> Dict[str, object]:
-        """Serialise the verdict and both outcome sets to a JSON-able dict.
-
-        This is the persistent form the campaign store appends: enough to
-        replay the cell's Table IV contribution and the mcompare
-        drill-down without re-simulating, and to rebuild the comparison
-        via :func:`comparison_from_record`.  The heavyweight pieces (the
-        compiled litmus, raw executions) intentionally stay out.
-        """
-        return {
-            "test": self.test_name,
-            "profile": self.profile.name,
-            "verdict": self.verdict,
-            "source_model": self.comparison.source_model,
-            "target_model": self.comparison.target_model,
-            "source_outcomes": outcomes_to_jsonable(self.comparison.source_outcomes),
-            "target_outcomes": outcomes_to_jsonable(self.comparison.target_outcomes),
-            "positive": outcomes_to_jsonable(self.comparison.positive),
-            "negative": outcomes_to_jsonable(self.comparison.negative),
-            "source_has_ub": self.comparison.source_has_ub,
-            "flags": sorted(self.source_result.flags | self.target_result.flags),
-            "compiled_loc": self.compiled_loc,
-            "seconds": {
-                "source": self.source_seconds,
-                "target": self.target_seconds,
-                "compile": self.compile_seconds,
-            },
-        }
+from ..compiler.profiles import CompilerProfile
+from ..toolchain.chain import Toolchain
+from ..toolchain.results import (  # noqa: F401  (re-exports: the store/tests import these from here)
+    DifferentialResult,
+    TelechatResult,
+    comparison_from_record,
+    outcomes_from_jsonable,
+    outcomes_to_jsonable,
+)
+from ..tools.mcompare import ComparisonResult
 
 
 def run_test_tv(
@@ -133,6 +46,7 @@ def run_test_tv(
     unroll: int = 2,
     budget: Optional[Budget] = None,
     source_result: Optional[SimulationResult] = None,
+    toolchain: Optional[Toolchain] = None,
 ) -> TelechatResult:
     """Run test_tv on one C litmus test under one compiler profile.
 
@@ -157,51 +71,23 @@ def run_test_tv(
             simulation out of its per-cell loop and passes it here, so
             each test's source side is simulated once per source model,
             not once per cell).
+        toolchain: the staged :class:`~repro.toolchain.Toolchain` to run
+            over — sessions pass theirs so per-stage artifacts (compiled
+            litmus tests, outcome sets) are reused across calls, models
+            and differential pairs.  ``None`` runs over a private
+            throwaway chain (the historical uncached behaviour).
     """
-    prepared = prepare(litmus, augment=augment)
-
-    compile_start = time.perf_counter()
-    c2s = compile_and_disassemble(prepared, profile)
-    stats = S2LStats()
-    compiled = assembly_to_litmus(
-        c2s.obj, prepared.condition, listing=c2s.listing,
-        optimise=optimise, stats=stats,
-    )
-    compile_seconds = time.perf_counter() - compile_start
-
-    source_reused = source_result is not None
-    if source_result is None:
-        source_start = time.perf_counter()
-        source_result = simulate_c(
-            prepared, source_model, unroll=unroll, budget=budget
-        )
-        source_seconds = time.perf_counter() - source_start
-    else:
-        source_seconds = 0.0
-
-    chosen_target = target_model if target_model is not None else arch_model(profile.arch)
-    target_start = time.perf_counter()
-    target_result = simulate_asm(compiled, chosen_target, budget=budget)
-    target_seconds = time.perf_counter() - target_start
-
-    comparison = mcompare(
-        source_result,
-        target_result,
-        shared_locations=list(prepared.init),
-        condition_observables=prepared.condition.observables(),
-    )
-    return TelechatResult(
-        test_name=litmus.name,
-        profile=profile,
-        comparison=comparison,
+    chain = toolchain if toolchain is not None else Toolchain()
+    return chain.run_tv(
+        litmus,
+        profile,
+        source_model=source_model,
+        target_model=target_model,
+        augment=augment,
+        optimise=optimise,
+        unroll=unroll,
+        budget=budget,
         source_result=source_result,
-        target_result=target_result,
-        compiled=compiled,
-        s2l_stats=stats,
-        source_seconds=source_seconds,
-        target_seconds=target_seconds,
-        compile_seconds=compile_seconds,
-        source_reused=source_reused,
     )
 
 
@@ -215,6 +101,7 @@ def test_compilation(
     unroll: int = 2,
     budget: Optional[Budget] = None,
     source_result: Optional[SimulationResult] = None,
+    toolchain: Optional[Toolchain] = None,
 ) -> TelechatResult:
     """Deprecated alias of :func:`run_test_tv`.
 
@@ -229,6 +116,43 @@ def test_compilation(
     return run_test_tv(
         litmus,
         profile,
+        source_model=source_model,
+        target_model=target_model,
+        augment=augment,
+        optimise=optimise,
+        unroll=unroll,
+        budget=budget,
+        source_result=source_result,
+        toolchain=toolchain,
+    )
+
+
+def run_differential(
+    litmus: CLitmus,
+    profile_a: CompilerProfile,
+    profile_b: CompilerProfile,
+    source_model: Optional[Union[str, Model]] = None,
+    target_model: Optional[Union[str, Model]] = None,
+    augment: bool = True,
+    optimise: bool = True,
+    unroll: int = 2,
+    budget: Optional[Budget] = None,
+    source_result: Optional[SimulationResult] = None,
+    toolchain: Optional[Toolchain] = None,
+) -> DifferentialResult:
+    """Differential testing (paper §IV-D) over the staged toolchain:
+    two compile→lift→simulate branches joined at one compare stage.
+
+    The engine entry point behind ``CampaignPlan(mode="differential")``
+    and :meth:`repro.api.Session.differential`.  ``source_model``
+    switches on the C-source undefined-behaviour oracle (racy sources
+    excuse the difference, verdict ``ub-masked``).
+    """
+    chain = toolchain if toolchain is not None else Toolchain()
+    return chain.run_differential(
+        litmus,
+        profile_a,
+        profile_b,
         source_model=source_model,
         target_model=target_model,
         augment=augment,
@@ -251,26 +175,34 @@ def differential_outcomes(
     profile_b: CompilerProfile,
     augment: bool = True,
     budget: Optional[Budget] = None,
+    optimise: bool = True,
+    unroll: int = 2,
+    source_model: Optional[Union[str, Model]] = None,
+    target_model: Optional[Union[str, Model]] = None,
+    toolchain: Optional[Toolchain] = None,
 ) -> Tuple[SimulationResult, SimulationResult, ComparisonResult]:
-    """Differential testing (paper §IV-D): compare the outcomes of two
-    compilations of the same source under their architecture models —
-    e.g. ``clang -O1`` vs ``clang -O3``, or clang vs gcc at ``-O2``.
+    """Differential testing, legacy tuple shape (see :func:`run_differential`).
 
     A difference between compilers is a *compatibility* risk: code from
     both is routinely linked together.
+
+    Historically this hand-rolled its own chain and silently dropped the
+    ``optimise``/``stats`` arguments of ``assembly_to_litmus`` (and never
+    exposed ``unroll``/``source_model``), so differential runs exercised
+    a different s2l path than single-profile runs.  It is now the same
+    :meth:`Toolchain.run_differential` composition, so both paths produce
+    identical compiled litmus tests for the same profile.
     """
-    if profile_a.arch != profile_b.arch:
-        raise ReproError("differential testing requires a common architecture")
-    prepared = prepare(litmus, augment=augment)
-    results: List[SimulationResult] = []
-    for profile in (profile_a, profile_b):
-        c2s = compile_and_disassemble(prepared, profile)
-        compiled = assembly_to_litmus(c2s.obj, prepared.condition, listing=c2s.listing)
-        results.append(simulate_asm(compiled, budget=budget))
-    comparison = mcompare(
-        results[0],
-        results[1],
-        shared_locations=list(prepared.init),
-        condition_observables=prepared.condition.observables(),
+    result = run_differential(
+        litmus,
+        profile_a,
+        profile_b,
+        source_model=source_model,
+        target_model=target_model,
+        augment=augment,
+        optimise=optimise,
+        unroll=unroll,
+        budget=budget,
+        toolchain=toolchain,
     )
-    return results[0], results[1], comparison
+    return result.result_a, result.result_b, result.comparison

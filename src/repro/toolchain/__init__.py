@@ -1,0 +1,83 @@
+"""``repro.toolchain`` — the staged translation-validation pipeline.
+
+The paper's Fig. 5 chain as a typed artifact graph::
+
+    SourceTest → PreparedSource → CompiledObject → TargetLitmus
+                               ↘ OutcomeSet (source)   ↓
+                                          OutcomeSet (target) → Verdict
+
+* :class:`Toolchain` — composes registered :class:`Stage` components
+  over a content-addressed per-stage :class:`ArtifactCache`;
+* :meth:`Toolchain.run_tv` / :meth:`Toolchain.run_differential` — the
+  two compositions (source-vs-compiled, compiler-vs-compiler);
+* :meth:`Toolchain.explain` — a traced run rendering every stage's
+  artifact (the ``repro explain`` CLI command);
+* :data:`STAGES` — the global stage registry; sessions overlay it to
+  swap in custom compilers, disassemblers or comparators.
+"""
+
+from .artifacts import (
+    Artifact,
+    CompiledObject,
+    OutcomeSet,
+    PreparedSource,
+    SourceTest,
+    TargetLitmus,
+    Verdict,
+    artifact_keys,
+    budget_signature,
+    make_key,
+    model_key,
+    profile_signature,
+)
+from .cache import ArtifactCache
+from .chain import Toolchain, ToolchainTrace, TraceEntry
+from .results import (
+    DifferentialResult,
+    TelechatResult,
+    comparison_from_record,
+    outcomes_from_jsonable,
+    outcomes_to_jsonable,
+)
+from .stages import (
+    STAGES,
+    CompareStage,
+    CompileStage,
+    LiftStage,
+    PrepareStage,
+    SimulateSourceStage,
+    SimulateTargetStage,
+    Stage,
+)
+
+__all__ = [
+    "Artifact",
+    "ArtifactCache",
+    "CompareStage",
+    "CompileStage",
+    "CompiledObject",
+    "DifferentialResult",
+    "LiftStage",
+    "OutcomeSet",
+    "PrepareStage",
+    "PreparedSource",
+    "STAGES",
+    "SimulateSourceStage",
+    "SimulateTargetStage",
+    "SourceTest",
+    "Stage",
+    "TargetLitmus",
+    "TelechatResult",
+    "Toolchain",
+    "ToolchainTrace",
+    "TraceEntry",
+    "Verdict",
+    "artifact_keys",
+    "budget_signature",
+    "comparison_from_record",
+    "make_key",
+    "model_key",
+    "outcomes_from_jsonable",
+    "outcomes_to_jsonable",
+    "profile_signature",
+]

@@ -17,9 +17,20 @@ from .diy import (
     shape_names,
     small_config,
 )
+from .diy import iter_generate
 from .l2c import augment_locals, fuzz_variants, out_global, prepare
 from .mcompare import ComparisonResult, StateMapping, default_mapping, mcompare
 from .s2l import S2LStats, assembly_to_litmus, optimise_thread, parse_thread
+from .sources import (
+    DiySource,
+    ListSource,
+    PaperSource,
+    StoreReplaySource,
+    SuiteSource,
+    TestSource,
+    as_source,
+    write_suite,
+)
 
 __all__ = [
     "C2SResult",
@@ -50,4 +61,13 @@ __all__ = [
     "assembly_to_litmus",
     "optimise_thread",
     "parse_thread",
+    "DiySource",
+    "ListSource",
+    "PaperSource",
+    "StoreReplaySource",
+    "SuiteSource",
+    "TestSource",
+    "as_source",
+    "iter_generate",
+    "write_suite",
 ]

@@ -456,17 +456,22 @@ def build_test(
     )
 
 
-def generate(
+def iter_generate(
     config: DiyConfig, shapes: Optional[Registry] = None
-) -> List[CLitmus]:
-    """Enumerate the configured test family, deterministically.
+) -> Iterator[CLitmus]:
+    """Lazily enumerate the configured test family, deterministically.
+
+    The streaming form of :func:`generate`: each test is built only when
+    the iterator is advanced, so a 10k-test configuration behind a
+    :class:`~repro.tools.sources.DiySource` costs nothing until (and
+    proportionally to how far) it is consumed.
 
     ``shapes`` selects the shape registry the config's names resolve
     against (defaults to the global one) — sessions pass their overlay so
     privately registered shapes generate without touching globals.
     """
     shape_registry = shapes if shapes is not None else SHAPES
-    tests: List[CLitmus] = []
+    emitted = 0
     counters: Dict[str, int] = {}
     atomic_choices = (True, False) if config.include_plain else (True,)
     for shape_name in config.shapes:
@@ -491,10 +496,16 @@ def generate(
                 continue
             counters[shape_name] = counters.get(shape_name, 0) + 1
             name = f"{shape_name}{counters[shape_name]:03d}"
-            tests.append(
-                build_test(shape, order_choice, fence, dep, variant, atomic,
-                           name=name)
-            )
-            if config.limit is not None and len(tests) >= config.limit:
-                return tests
-    return tests
+            yield build_test(shape, order_choice, fence, dep, variant, atomic,
+                             name=name)
+            emitted += 1
+            if config.limit is not None and emitted >= config.limit:
+                return
+
+
+def generate(
+    config: DiyConfig, shapes: Optional[Registry] = None
+) -> List[CLitmus]:
+    """Enumerate the configured test family, deterministically (the
+    eager form of :func:`iter_generate`)."""
+    return list(iter_generate(config, shapes=shapes))

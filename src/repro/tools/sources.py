@@ -1,0 +1,295 @@
+"""Streaming test sources — lazy, shardable suppliers of C litmus tests.
+
+``CampaignPlan(tests=...)`` historically required an eager, fully
+materialised list.  A :class:`TestSource` is the streaming alternative:
+an object that *yields* tests on demand, knows how to shard itself
+deterministically, and can say (cheaply, when it can) how many tests it
+holds.  Plans accept one in place of a test tuple, so arbitrarily large
+generated suites cost nothing until a campaign actually runs them.
+
+Shipped sources:
+
+* :class:`DiySource` — lazy diy generation from a
+  :class:`~repro.tools.diy.DiyConfig` (nothing is built until iterated);
+* :class:`ListSource` — wrap an in-memory sequence;
+* :class:`PaperSource` — the paper's figure tests by name;
+* :class:`SuiteSource` / :func:`write_suite` — a JSONL corpus of printed
+  litmus tests (the parse/print round-trip preserves content digests);
+* :class:`StoreReplaySource` — replay the tests a stored campaign
+  actually saw, filtered by verdict (e.g. re-run only the positives).
+
+Determinism contract: iterating a source twice yields the same tests in
+the same order, and the ``n`` shards of a source partition exactly the
+tests of the unsharded iteration (``shard(k, n)`` = every n-th test
+starting at the k-th) — the property campaign shard-merging relies on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Union
+
+from ..core.registry import Registry
+from ..lang.ast import CLitmus
+from .diy import DiyConfig, iter_generate
+
+
+class TestSource:
+    """Base class of streaming test suppliers.
+
+    Subclasses implement :meth:`iter_tests`; everything else (plain
+    iteration, sharding, counting) has shared defaults.  ``shapes`` is
+    the shape registry diy-style sources resolve names against — the
+    campaign engine passes the session overlay, so sources can name
+    session-private shapes.
+    """
+
+    def iter_tests(self, shapes: Optional[Registry] = None) -> Iterator[CLitmus]:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[CLitmus]:
+        return self.iter_tests()
+
+    def count(self) -> Optional[int]:
+        """How many tests this source yields, when knowable without
+        generating them (``None`` otherwise)."""
+        return None
+
+    def shard(self, k: int, n: int) -> "TestSource":
+        """The k-th of n deterministic partitions of this source."""
+        if n < 1 or not 0 <= k < n:
+            raise ValueError(f"bad shard ({k}, {n}): need 0 <= k < n")
+        return _ShardSource(self, k, n)
+
+    def describe(self) -> Dict[str, object]:
+        return {"source": type(self).__name__, "count": self.count()}
+
+
+class _ShardSource(TestSource):
+    """Every n-th test of a base source, starting at the k-th."""
+
+    def __init__(self, base: TestSource, k: int, n: int) -> None:
+        self.base = base
+        self.k = k
+        self.n = n
+
+    def iter_tests(self, shapes: Optional[Registry] = None) -> Iterator[CLitmus]:
+        return itertools.islice(
+            self.base.iter_tests(shapes=shapes), self.k, None, self.n
+        )
+
+    def count(self) -> Optional[int]:
+        total = self.base.count()
+        if total is None:
+            return None
+        return len(range(self.k, total, self.n))
+
+    def describe(self) -> Dict[str, object]:
+        meta = self.base.describe()
+        meta["shard"] = [self.k, self.n]
+        meta["count"] = self.count()
+        return meta
+
+
+class ListSource(TestSource):
+    """An eager in-memory suite behind the streaming protocol."""
+
+    def __init__(self, tests: Sequence[CLitmus]) -> None:
+        self.tests = tuple(tests)
+
+    def iter_tests(self, shapes: Optional[Registry] = None) -> Iterator[CLitmus]:
+        return iter(self.tests)
+
+    def count(self) -> int:
+        return len(self.tests)
+
+
+class DiySource(TestSource):
+    """Lazy diy generation: tests are built as the iterator advances.
+
+    A ``DiySource(DiyConfig(limit=10_000))`` costs nothing to construct
+    and nothing to put in a plan; generation happens (and only as far as
+    needed) when a consumer iterates.
+    """
+
+    def __init__(
+        self, config: Optional[DiyConfig] = None,
+        shapes: Optional[Registry] = None,
+    ) -> None:
+        self.config = config if config is not None else DiyConfig()
+        self.shapes = shapes
+
+    def iter_tests(self, shapes: Optional[Registry] = None) -> Iterator[CLitmus]:
+        # an explicitly bound registry wins; otherwise the consumer's
+        # (i.e. the session overlay the engine passes) applies
+        registry = self.shapes if self.shapes is not None else shapes
+        return iter_generate(self.config, shapes=registry)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "source": "DiySource",
+            "count": None,
+            "shapes": list(self.config.shapes),
+            "limit": self.config.limit,
+        }
+
+
+class PaperSource(TestSource):
+    """The paper's figure tests (:mod:`repro.papertests`), by name."""
+
+    DEFAULT = ("fig1_exchange", "fig7_lb", "fig9_lb_plain", "fig10_mp_rmw",
+               "fig11_lb3")
+
+    def __init__(self, names: Sequence[str] = DEFAULT) -> None:
+        self.names = tuple(names)
+
+    def iter_tests(self, shapes: Optional[Registry] = None) -> Iterator[CLitmus]:
+        from .. import papertests
+
+        for name in self.names:
+            factory = getattr(papertests, name, None)
+            if factory is None:
+                raise ValueError(
+                    f"unknown paper test {name!r}; see repro.papertests"
+                )
+            yield factory()
+
+    def count(self) -> int:
+        return len(self.names)
+
+    def describe(self) -> Dict[str, object]:
+        return {"source": "PaperSource", "count": self.count(),
+                "names": list(self.names)}
+
+
+# --------------------------------------------------------------------------- #
+# JSONL corpora
+# --------------------------------------------------------------------------- #
+def write_suite(
+    tests: Iterable[CLitmus], path: Union[str, "os.PathLike[str]"]
+) -> int:
+    """Persist a test suite as a JSONL corpus (one test per line).
+
+    Each line records the printed litmus source plus the content digest;
+    :class:`SuiteSource` parses lines back lazily, and the canonical
+    printer guarantees the round-trip preserves digests — so verdicts
+    stored against these tests replay across the dump/load boundary.
+    Returns the number of tests written.
+    """
+    from ..lang.printer import print_c_litmus
+
+    count = 0
+    with open(os.fspath(path), "w", encoding="utf-8") as handle:
+        for test in tests:
+            line = json.dumps(
+                {"name": test.name, "digest": test.digest(),
+                 "source": print_c_litmus(test)},
+                sort_keys=True,
+            )
+            handle.write(line + "\n")
+            count += 1
+    return count
+
+
+class SuiteSource(TestSource):
+    """A JSONL corpus written by :func:`write_suite` (or by hand: any
+    JSONL of ``{"source": <C litmus text>}`` objects), parsed lazily —
+    one test per line, only as the iterator advances."""
+
+    def __init__(self, path: Union[str, "os.PathLike[str]"]) -> None:
+        self.path = os.fspath(path)
+
+    def iter_tests(self, shapes: Optional[Registry] = None) -> Iterator[CLitmus]:
+        from ..lang.parser import parse_c_litmus
+
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                yield parse_c_litmus(
+                    record["source"], name=str(record.get("name", "test"))
+                )
+
+    def describe(self) -> Dict[str, object]:
+        return {"source": "SuiteSource", "count": None, "path": self.path}
+
+
+class StoreReplaySource(TestSource):
+    """Replay the tests a stored campaign actually saw.
+
+    Store records carry content digests, not test bodies, so replay
+    cross-references a *corpus* (any other :class:`TestSource` — usually
+    the diy config or suite file the campaign ran) against the store:
+    only corpus tests whose digest appears in the store (optionally
+    restricted to given ``verdicts``) are yielded.  The canonical use is
+    re-running just the positives of a finished campaign under a new
+    model or compiler epoch::
+
+        replay = StoreReplaySource(store, DiySource(cfg),
+                                   verdicts=("positive",))
+    """
+
+    def __init__(
+        self,
+        store,
+        corpus: TestSource,
+        verdicts: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.store = store
+        self.corpus = corpus
+        self.verdicts = None if verdicts is None else tuple(verdicts)
+
+    def _wanted_digests(self) -> frozenset:
+        wanted = set()
+        for record in self.store.records():
+            if self.verdicts is not None:
+                if record.get("verdict") not in self.verdicts:
+                    continue
+            wanted.add(str(record.get("digest", "")))
+        return frozenset(wanted)
+
+    def iter_tests(self, shapes: Optional[Registry] = None) -> Iterator[CLitmus]:
+        wanted = self._wanted_digests()
+        seen: set = set()
+        for test in self.corpus.iter_tests(shapes=shapes):
+            digest = test.digest()
+            if digest in wanted and digest not in seen:
+                seen.add(digest)
+                yield test
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "source": "StoreReplaySource",
+            "count": None,
+            "store": getattr(self.store, "path", None),
+            "verdicts": None if self.verdicts is None else list(self.verdicts),
+            "corpus": self.corpus.describe(),
+        }
+
+
+def as_source(
+    tests: Union[TestSource, Sequence[CLitmus], None],
+    config: Optional[DiyConfig] = None,
+) -> TestSource:
+    """Coerce the plan's ``tests``/``config`` pair to one source."""
+    if isinstance(tests, TestSource):
+        return tests
+    if tests is not None:
+        return ListSource(tests)
+    return DiySource(config if config is not None else DiyConfig())
+
+
+__all__ = [
+    "DiySource",
+    "ListSource",
+    "PaperSource",
+    "StoreReplaySource",
+    "SuiteSource",
+    "TestSource",
+    "as_source",
+    "write_suite",
+]

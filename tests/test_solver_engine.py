@@ -316,4 +316,6 @@ class TestCampaignCaches:
         inline = test_compilation(litmus, profile)
         assert hoisted.source_reused and not inline.source_reused
         assert hoisted.verdict == inline.verdict
-        assert hoisted.source_seconds == 0.0
+        # a hoisted source simulation reports the *original* run's cost,
+        # not zero — campaign timing totals must not under-report
+        assert hoisted.source_seconds == source.elapsed_seconds > 0.0

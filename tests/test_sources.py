@@ -1,0 +1,251 @@
+"""Streaming TestSources: laziness, shard determinism, round-trips, and
+plan/engine acceptance."""
+
+import itertools
+import json
+
+import pytest
+
+from repro.api import CampaignPlan, Session
+from repro.pipeline.store import CampaignStore
+from repro.tools import diy as diy_mod
+from repro.tools.diy import DiyConfig, build_test, get_shape, lb_chain, paper_config, small_config
+from repro.tools.sources import (
+    DiySource,
+    ListSource,
+    PaperSource,
+    StoreReplaySource,
+    SuiteSource,
+    TestSource,
+    as_source,
+    write_suite,
+)
+
+
+class TestLaziness:
+    def test_big_diy_source_is_not_materialised_eagerly(self, monkeypatch):
+        """A 10k-test diy source must cost nothing until iterated, and
+        only as far as the consumer advances."""
+        built = []
+        real = diy_mod.build_test
+
+        def counting(*args, **kwargs):
+            built.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(diy_mod, "build_test", counting)
+        source = DiySource(DiyConfig(
+            shapes=("MP", "LB", "SB", "S", "R", "2+2W", "WRC", "IRIW",
+                    "ISA2", "RWC", "LB3", "LB4", "SB3"),
+            orders=("rlx", "ar", "sc"),
+            deps=("po", "data", "ctrl", "ctrl2"),
+            variants=("load-store", "rmw-read", "xchg-write",
+                      "faa-first-unused"),
+            include_plain=True,
+            limit=10_000,
+        ))
+        assert built == []  # construction generates nothing
+        plan = CampaignPlan(tests=source, arches=("aarch64",),
+                            opts=("-O2",), compilers=("llvm",))
+        assert built == []  # planning generates nothing either
+        head = list(itertools.islice(iter(source), 5))
+        assert len(head) == 5
+        assert len(built) == 5  # generation went exactly as far as asked
+        assert plan.describe()["tests"]["limit"] == 10_000
+
+    def test_plan_describe_does_not_materialise(self, monkeypatch):
+        built = []
+        real = diy_mod.build_test
+        monkeypatch.setattr(
+            diy_mod, "build_test",
+            lambda *a, **k: built.append(1) or real(*a, **k),
+        )
+        source = DiySource(paper_config())
+        plan = CampaignPlan(tests=source)
+        description = plan.describe()
+        assert description["tests"]["source"] == "DiySource"
+        assert built == []
+
+    def test_iteration_is_incremental(self, monkeypatch):
+        built = []
+        real = diy_mod.build_test
+        monkeypatch.setattr(
+            diy_mod, "build_test",
+            lambda *a, **k: built.append(1) or real(*a, **k),
+        )
+        source = DiySource(DiyConfig(limit=10_000))
+        head = list(itertools.islice(iter(source), 5))
+        assert len(head) == 5
+        assert len(built) == 5  # exactly as far as we pulled
+
+
+class TestDeterminismAndSharding:
+    def test_two_iterations_agree(self):
+        source = DiySource(small_config())
+        first = [t.digest() for t in source]
+        second = [t.digest() for t in source]
+        assert first == second
+
+    def test_shards_partition_the_full_iteration(self):
+        source = DiySource(small_config())
+        full = [t.digest() for t in source]
+        n = 3
+        shards = [list(source.shard(k, n)) for k in range(n)]
+        # interleaving the shards reconstructs the full order exactly
+        rebuilt = [None] * len(full)
+        for k, shard in enumerate(shards):
+            for i, test in enumerate(shard):
+                rebuilt[k + i * n] = test.digest()
+        assert rebuilt == full
+
+    def test_shard_counts(self):
+        source = ListSource(
+            [build_test(get_shape("LB"), "rlx", name=f"L{i}")
+             for i in range(7)]
+        )
+        assert source.count() == 7
+        assert [source.shard(k, 3).count() for k in range(3)] == [3, 2, 2]
+        with pytest.raises(ValueError, match="bad shard"):
+            source.shard(3, 3)
+
+    def test_shard_describe(self):
+        source = PaperSource().shard(0, 2)
+        meta = source.describe()
+        assert meta["shard"] == [0, 2]
+        assert meta["count"] == 3
+
+
+class TestPaperSource:
+    def test_yields_the_figure_tests(self):
+        names = [t.name for t in PaperSource()]
+        assert "fig7_lb" in names and "fig1_exchange" in names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown paper test"):
+            list(PaperSource(names=("fig99_nope",)))
+
+
+class TestSuiteRoundTrip:
+    def test_write_and_reload_preserves_digests(self, tmp_path):
+        tests = list(DiySource(small_config()))
+        path = tmp_path / "suite.jsonl"
+        written = write_suite(tests, path)
+        assert written == len(tests)
+        reloaded = list(SuiteSource(path))
+        assert [t.name for t in reloaded] == [t.name for t in tests]
+        assert [t.digest() for t in reloaded] == [t.digest() for t in tests]
+
+    def test_suite_source_is_lazy(self, tmp_path):
+        tests = list(DiySource(small_config()))
+        path = tmp_path / "suite.jsonl"
+        write_suite(tests, path)
+        head = list(itertools.islice(iter(SuiteSource(path)), 2))
+        assert len(head) == 2
+
+
+class TestStoreReplay:
+    def test_replays_exactly_the_stored_tests(self, tmp_path):
+        corpus = ListSource(
+            [build_test(get_shape("LB"), "rlx", name="LB001"),
+             build_test(get_shape("MP"), "rlx", name="MP001"),
+             build_test(get_shape("SB"), "rlx", name="SB001")]
+        )
+        path = tmp_path / "campaign.jsonl"
+        store = CampaignStore(path)
+        # run a campaign over a strict subset of the corpus
+        plan = CampaignPlan(tests=list(corpus)[:2], arches=("aarch64",),
+                            opts=("-O3",), compilers=("llvm",))
+        Session(store=store).campaign(plan).report()
+
+        replay = StoreReplaySource(CampaignStore(path), corpus)
+        names = [t.name for t in replay]
+        assert names == ["LB001", "MP001"]  # SB001 never ran
+
+        # verdict filtering: replay only the positives (fig7-style LB at
+        # -O3 on AArch64 is positive; MP under rc11 is not)
+        positives = StoreReplaySource(
+            CampaignStore(path), corpus, verdicts=("positive",)
+        )
+        assert [t.name for t in positives] == ["LB001"]
+
+    def test_round_trip_through_a_campaign(self, tmp_path):
+        """store → replay source → campaign runs only the replayed set."""
+        corpus = DiySource(small_config())
+        path = tmp_path / "campaign.jsonl"
+        plan = CampaignPlan(tests=corpus, arches=("aarch64",),
+                            opts=("-O2",), compilers=("llvm",))
+        Session(store=CampaignStore(path)).campaign(plan).report()
+
+        replay = StoreReplaySource(CampaignStore(path), corpus)
+        replay_plan = CampaignPlan(tests=replay, arches=("aarch64",),
+                                   opts=("-O2",), compilers=("llvm",))
+        report = Session().campaign(replay_plan).report()
+        assert report.tests_input == len(list(corpus))
+
+
+class TestPlanAcceptance:
+    def test_source_plan_equals_eager_plan(self):
+        eager = CampaignPlan(tests=list(DiySource(small_config())),
+                             arches=("aarch64",), opts=("-O2",),
+                             compilers=("llvm",))
+        streamed = CampaignPlan(tests=DiySource(small_config()),
+                                arches=("aarch64",), opts=("-O2",),
+                                compilers=("llvm",))
+        a = Session().campaign(eager).report()
+        b = Session().campaign(streamed).report()
+        assert json.dumps(a.to_jsonable(include_timing=False),
+                          sort_keys=True) == json.dumps(
+            b.to_jsonable(include_timing=False), sort_keys=True
+        )
+
+    def test_session_shapes_thread_into_sources(self):
+        """A source with no bound registry resolves shape names against
+        the session overlay the engine passes."""
+        session = Session()
+        session.register_shape(lb_chain(5))
+        source = DiySource(DiyConfig(shapes=("LB5",), orders=("rlx",),
+                                     fences=(None,), deps=("po",)))
+        plan = CampaignPlan(tests=source, arches=("aarch64",),
+                            opts=("-O2",), compilers=("llvm",))
+        report = session.campaign(plan).report()
+        assert report.tests_input == 1
+        # the same source fails in a session that lacks the shape
+        with pytest.raises(Exception, match="LB5"):
+            Session().campaign(plan).report()
+
+    def test_as_source_coercion(self):
+        assert isinstance(as_source(None), DiySource)
+        assert isinstance(as_source([]), ListSource)
+        paper = PaperSource()
+        assert as_source(paper) is paper
+        assert isinstance(
+            as_source(None, config=small_config()), DiySource
+        )
+
+    def test_differential_plan_accepts_sources(self):
+        plan = CampaignPlan(
+            tests=PaperSource(names=("fig7_lb",)),
+            mode="differential",
+            profiles=("llvm-O1-AArch64", "llvm-O3-AArch64"),
+        )
+        report = Session().campaign(plan).report()
+        assert report.compiled_tests == 1
+
+    def test_sharded_run_resolves_source_once(self, monkeypatch):
+        calls = []
+        real = diy_mod.iter_generate
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(diy_mod, "iter_generate", counting)
+        # DiySource.iter_tests late-binds through the module attribute
+        monkeypatch.setattr(
+            "repro.tools.sources.iter_generate", counting
+        )
+        plan = CampaignPlan(tests=DiySource(small_config()),
+                            arches=("aarch64",), opts=("-O2",),
+                            compilers=("llvm",))
+        Session().campaign_sharded(plan, 3).report()
+        assert len(calls) == 1  # resolved once, shared by all shards
