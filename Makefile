@@ -1,0 +1,19 @@
+# Convenience entry points; CI runs the same commands.
+
+PYTHON ?= python
+
+.PHONY: test bench docs-check examples
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks -q -s
+
+# execute every fenced python block in README.md and docs/cookbook.md —
+# documentation examples are checked like tests and cannot rot
+docs-check:
+	$(PYTHON) scripts/check_docs.py README.md docs/cookbook.md
+
+examples:
+	PYTHONPATH=src $(PYTHON) -m repro.pipeline.cli examples

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Execute every fenced ``python`` code block in the given markdown files.
+
+The docs-check job (``make docs-check``, CI) runs this over README.md and
+docs/cookbook.md so documentation examples can never rot: a snippet that
+stops working fails the build, exactly like a test.
+
+Rules:
+
+* only fences tagged ``python`` run; ``sh``/untagged fences are prose;
+* a fence tagged ``python skip`` is display-only (for illustrative
+  fragments that are deliberately not self-contained, e.g. pseudo-code
+  or snippets with placeholder values) — use sparingly;
+* all blocks of one file run in **one shared namespace, in order**, so a
+  quickstart definition carries into later snippets, exactly as a reader
+  pasting the file top to bottom would experience it.
+
+Exit status: 0 when every block ran, 1 on the first failure (the failing
+file, line and traceback are printed).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import List, Tuple
+
+#: the in-tree package wins, as it does for the test suite
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+
+def extract_blocks(text: str) -> List[Tuple[int, str, str]]:
+    """``(first line number, fence info string, code)`` per fenced block."""
+    blocks: List[Tuple[int, str, str]] = []
+    info = None
+    start = 0
+    code: List[str] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if info is None:
+            if stripped.startswith("```") and stripped != "```":
+                info = stripped[3:].strip()
+                start = number + 1
+                code = []
+        elif stripped == "```":
+            blocks.append((start, info, "\n".join(code)))
+            info = None
+        else:
+            code.append(line)
+    if info is not None:
+        raise SystemExit(f"unterminated ``` fence starting near line {start}")
+    return blocks
+
+
+def run_file(path: str) -> int:
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    namespace: dict = {"__name__": f"docs-check:{path}"}
+    ran = skipped = 0
+    for lineno, info, code in extract_blocks(text):
+        words = info.split()
+        if not words or words[0] != "python":
+            continue
+        if "skip" in words[1:]:
+            skipped += 1
+            continue
+        started = time.perf_counter()
+        try:
+            exec(compile(code, f"{path}:{lineno}", "exec"), namespace)
+        except Exception:
+            import traceback
+
+            print(f"FAIL {path}:{lineno}")
+            print("----- block -----")
+            print(code)
+            print("----- error -----")
+            traceback.print_exc()
+            raise SystemExit(1)
+        ran += 1
+        print(f"ok   {path}:{lineno} ({time.perf_counter() - started:.2f}s)")
+    if ran == 0:
+        # a checked file with nothing to run means the fences were
+        # mistagged (```py, untagged) or all skip-marked — exactly the
+        # silent rot this job exists to prevent
+        raise SystemExit(
+            f"{path}: no executable python blocks found "
+            f"({skipped} skip-marked) — docs-check would be a no-op"
+        )
+    print(f"{path}: {ran} blocks executed, {skipped} skip-marked")
+    return ran
+
+
+def main(argv: List[str]) -> int:
+    paths = argv or ["README.md", os.path.join("docs", "cookbook.md")]
+    total = 0
+    for path in paths:
+        total += run_file(path)
+    print(f"docs-check: {total} python blocks green")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

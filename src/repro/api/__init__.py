@@ -15,13 +15,21 @@ The legacy module-level entry points (``run_campaign``,
 see the README's deprecation policy.
 """
 
-from .engine import CampaignStream, fold_events, iter_campaign, iter_sharded
+from .engine import (
+    CampaignStream,
+    fold_events,
+    iter_campaign,
+    iter_hunt,
+    iter_sharded,
+)
 from .events import (
     CampaignEvent,
     CampaignFinished,
     CampaignStarted,
     CellFinished,
+    HuntProgress,
     ShardMerged,
+    TestReduced,
 )
 from .plan import CampaignPlan, PlanError
 from .session import Session
@@ -33,10 +41,13 @@ __all__ = [
     "CampaignStarted",
     "CampaignStream",
     "CellFinished",
+    "HuntProgress",
     "PlanError",
     "Session",
     "ShardMerged",
+    "TestReduced",
     "fold_events",
     "iter_campaign",
+    "iter_hunt",
     "iter_sharded",
 ]

@@ -6,9 +6,12 @@ fuzzing loops, and services can react mid-run.  The stream grammar is::
 
     CampaignStarted (CellFinished | ShardMerged)* CampaignFinished
 
-and :func:`repro.api.fold_events` folds any complete stream back into the
-legacy :class:`~repro.pipeline.campaign.CampaignReport`, byte-for-byte
-identical to what ``run_campaign`` used to return.
+with two hunt-mode extras interleaved — :class:`HuntProgress` after each
+mutation round's cells and :class:`TestReduced` once per minimised
+positive — and :func:`repro.api.fold_events` folds any complete stream
+back into the legacy :class:`~repro.pipeline.campaign.CampaignReport`,
+byte-for-byte identical to what ``run_campaign`` used to return
+(hunt extras fold as annotations: they never change cell tallies).
 
 Every event is a frozen dataclass with an :meth:`as_dict` JSON projection
 (the CLI's ``--json`` output is exactly one event per line).
@@ -117,6 +120,81 @@ class CellFinished(CampaignEvent):
             "from_store": self.from_store,
             "shard": list(self.shard) if self.shard else None,
             "mode": self.mode,
+            "record": dict(self.record),
+        }
+
+
+@dataclass(frozen=True)
+class HuntProgress(CampaignEvent):
+    """One hunt round finished: what the feedback loop learned and what
+    it scheduled next.  Emitted after the round's cells, before the next
+    round's — so ``round_index`` partitions the cell stream."""
+
+    kind = "hunt_progress"
+
+    #: the round whose cells have just finished (0 = the seeds)
+    round_index: int = 0
+    #: cells evaluated in this round
+    cells: int = 0
+    #: distinct positive *tests* (by digest) across the hunt so far
+    positives: int = 0
+    #: new mutants scheduled for the next round (0 = hunt is done)
+    scheduled: int = 0
+    #: distinct tests scheduled since round 0 (seeds included)
+    unique_tests: int = 0
+    #: mutants dropped because their digest was already scheduled
+    duplicates_skipped: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "event": self.kind,
+            "round": self.round_index,
+            "cells": self.cells,
+            "positives": self.positives,
+            "scheduled": self.scheduled,
+            "unique_tests": self.unique_tests,
+            "duplicates_skipped": self.duplicates_skipped,
+        }
+
+
+@dataclass(frozen=True)
+class TestReduced(CampaignEvent):
+    """A hunt positive was minimised to a 1-minimal reproducer.
+
+    ``record`` is the reduced test's re-verified verdict record — the
+    same store currency as a cell record, carrying ``reduced_from`` /
+    ``reduction_steps`` lineage — so consumers (and the session store)
+    get the reproducer without re-simulating anything.
+    """
+
+    kind = "test_reduced"
+    __test__ = False  # pytest: an event class, not a test class
+
+    #: the positive test reduction started from
+    test: str = ""
+    digest: str = ""
+    #: the minimal reproducer
+    reduced_name: str = ""
+    reduced_digest: str = ""
+    original_statements: int = 0
+    reduced_statements: int = 0
+    #: accepted shrink steps (0 = the positive was already minimal)
+    steps: int = 0
+    #: oracle re-verifications the reduction spent
+    checks: int = 0
+    record: Mapping[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "event": self.kind,
+            "test": self.test,
+            "digest": self.digest,
+            "reduced_name": self.reduced_name,
+            "reduced_digest": self.reduced_digest,
+            "original_statements": self.original_statements,
+            "reduced_statements": self.reduced_statements,
+            "steps": self.steps,
+            "checks": self.checks,
             "record": dict(self.record),
         }
 

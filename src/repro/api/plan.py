@@ -20,6 +20,13 @@ Two axes arrived with the toolchain redesign:
   over ``profiles`` — e.g. ``CampaignPlan(mode="differential",
   profiles=("llvm-O1-AArch64", "llvm-O3-AArch64"))`` — through the same
   engine, events, store and CLI as translation-validation campaigns.
+
+``mode="hunt"`` (the §V mutation-testing loop) treats ``tests`` as the
+*seeds* of a feedback-driven hunt: rounds of order/fence-weakening
+mutants (``mutations=``, ``mutation_rounds=``, ``mutation_limit=``) are
+scheduled positives-first and deduplicated by content digest, and with
+``reduce=True`` every positive is delta-debugged to a 1-minimal
+reproducer — see :mod:`repro.hunt`.
 """
 
 from __future__ import annotations
@@ -36,7 +43,7 @@ from ..tools.sources import TestSource, as_source
 DEFAULT_ARCHES = ("aarch64", "armv7", "riscv64", "ppc64", "x86_64", "mips64")
 
 #: the campaign modes the engine understands.
-MODES = ("tv", "differential")
+MODES = ("tv", "differential", "hunt")
 
 
 class PlanError(ReproError, ValueError):
@@ -77,11 +84,23 @@ class CampaignPlan:
     #: every unordered pair becomes one cell per test.  In differential
     #: mode ``source_model`` is the undefined-behaviour oracle.
     profiles: Optional[Tuple[str, ...]] = None
+    #: hunt mode only: the mutation-operator names to hunt with (resolved
+    #: against the session's mutation registry; ``None`` = the default
+    #: order-weakening set of :data:`repro.tools.mutate.DEFAULT_OPERATORS`)
+    mutations: Optional[Tuple[str, ...]] = None
+    #: hunt mode: mutation rounds beyond the seed round (round 0)
+    mutation_rounds: int = 2
+    #: hunt mode: cap on new mutants scheduled per round
+    mutation_limit: int = 64
+    #: hunt mode: delta-debug every positive down to a 1-minimal
+    #: reproducer (ignored outside hunt mode)
+    reduce: bool = True
 
     def __post_init__(self) -> None:
         # coerce the sequence fields so list-passing callers still freeze
         # (a streaming TestSource passes through *unmaterialised*)
-        for name in ("tests", "arches", "opts", "compilers", "profiles"):
+        for name in ("tests", "arches", "opts", "compilers", "profiles",
+                     "mutations"):
             value = getattr(self, name)
             if (
                 value is not None
@@ -118,6 +137,25 @@ class CampaignPlan:
             raise PlanError(
                 'profiles= is only meaningful with mode="differential"'
             )
+        if self.mode == "hunt":
+            if self.mutation_rounds < 0:
+                raise PlanError(
+                    f"mutation_rounds must be >= 0, got {self.mutation_rounds}"
+                )
+            if self.mutation_limit < 1:
+                raise PlanError(
+                    f"mutation_limit must be >= 1, got {self.mutation_limit}"
+                )
+            if self.shard is not None:
+                # hunt work lists grow from per-round feedback; shards of
+                # a dynamic list would each see different feedback and
+                # diverge — shard the *seeds* (TestSource.shard) instead
+                raise PlanError(
+                    "hunt campaigns schedule work dynamically and cannot "
+                    "be cell-sharded; shard the seed source instead"
+                )
+        elif self.mutations is not None:
+            raise PlanError('mutations= is only meaningful with mode="hunt"')
         # NOTE: arch/compiler/opt *membership* is deliberately not
         # validated here — at campaign scale an unbuildable profile is an
         # error *cell*, never a campaign abort (and a session may carry
@@ -185,4 +223,10 @@ class CampaignPlan:
             "resume": self.resume,
             "mode": self.mode,
             "profiles": None if self.profiles is None else list(self.profiles),
+            "mutations": (
+                None if self.mutations is None else list(self.mutations)
+            ),
+            "mutation_rounds": self.mutation_rounds,
+            "mutation_limit": self.mutation_limit,
+            "reduce": self.reduce,
         }

@@ -41,11 +41,14 @@ from ..pipeline.telechat import (
     run_differential,
     run_test_tv,
 )
+from ..hunt.reduce import ReductionResult, reduce_test
 from ..toolchain import STAGES, ArtifactCache, Stage, Toolchain, ToolchainTrace
 from ..tools.diy import SHAPES, Shape
-from .engine import CampaignStream, iter_campaign, iter_sharded
+from ..tools.mutate import MUTATIONS
+from ..tools.sources import TestSource
+from .engine import CampaignStream, iter_campaign, iter_hunt, iter_sharded
 from .events import CampaignEvent
-from .plan import CampaignPlan
+from .plan import CampaignPlan, PlanError
 
 
 class Session:
@@ -85,6 +88,7 @@ class Session:
         self.epochs = EPOCHS.overlay()
         self.baselines = BASELINES.overlay()
         self.stages = STAGES.overlay()
+        self.mutations = MUTATIONS.overlay()
         #: the session's staged tool-chain: stage resolution through the
         #: session overlay, model identity through the session models,
         #: and a per-session content-addressed artifact cache shared by
@@ -140,6 +144,18 @@ class Session:
 
     def register_baseline(self, name: str, check: Callable, **meta: object) -> Callable:
         return self.baselines.register(name, check, **meta)
+
+    def register_mutation(self, name: str, operator, **meta: object):
+        """Register a private mutation operator for this session's hunts.
+
+        ``operator`` is a callable ``(CLitmus) -> iterator of (mutated
+        test, site description)`` pairs — see :mod:`repro.tools.mutate`.
+        Hunt plans run through this session can name it in
+        ``mutations=``; mutants are generated in this process and cross
+        pool boundaries as values, so (unlike models or stages) a
+        session-local operator works under every backend and store.
+        """
+        return self.mutations.register(name, operator, **meta)
 
     def register_stage(self, stage: Stage, **meta: object) -> Stage:
         """Swap a tool-chain stage for this session only.
@@ -400,6 +416,73 @@ class Session:
         :class:`CampaignReport` (byte-for-byte the legacy report).
         """
         return CampaignStream(iter_campaign(plan, self))
+
+    def hunt(
+        self,
+        seeds: Union[TestSource, Iterable[CLitmus], CampaignPlan],
+        **plan_fields,
+    ) -> CampaignStream:
+        """Run a mutation-guided bug hunt from ``seeds`` (see
+        :mod:`repro.hunt` and ``CampaignPlan(mode="hunt")``).
+
+        ``seeds`` is a :class:`~repro.tools.sources.TestSource`, an
+        iterable of tests — or a ready-made hunt plan, streamed as-is.
+        Remaining keyword arguments are plan fields (``mutations=``,
+        ``mutation_rounds=``, ``mutation_limit=``, ``reduce=``,
+        ``arches=``, …)::
+
+            for event in session.hunt([seed], arches=("aarch64",)):
+                if isinstance(event, TestReduced):
+                    print("minimal reproducer:", event.reduced_name)
+        """
+        if isinstance(seeds, CampaignPlan):
+            if plan_fields:
+                raise PlanError(
+                    "pass plan fields on the CampaignPlan, not to hunt()"
+                )
+            plan = seeds
+            if plan.mode != "hunt":
+                raise PlanError(
+                    f'Session.hunt needs mode="hunt", got {plan.mode!r}'
+                )
+        else:
+            tests = (
+                seeds if isinstance(seeds, TestSource) else tuple(seeds)
+            )
+            plan = CampaignPlan(mode="hunt", tests=tests, **plan_fields)
+        return CampaignStream(iter_hunt(plan, self))
+
+    def reduce(
+        self,
+        litmus: CLitmus,
+        profile: Union[str, CompilerProfile, tuple],
+        *,
+        source_model: Union[str, Model] = "rc11",
+        augment: bool = True,
+        budget: Optional[Budget] = None,
+        max_checks: Optional[int] = None,
+    ) -> ReductionResult:
+        """Delta-debug ``litmus`` to a 1-minimal test that still gets a
+        ``positive`` verdict under ``profile`` (the engine behind
+        ``telechat reduce``).  Every candidate re-verifies through this
+        session's cached toolchain; raises
+        :class:`~repro.hunt.ReductionError` when the input itself is not
+        positive — there is no bug to keep."""
+        resolved_profile = self.profile(profile)
+        if budget is None and self.budget_candidates is not None:
+            budget = Budget(max_candidates=self.budget_candidates)
+
+        def check(candidate: CLitmus) -> bool:
+            result = self.test(
+                candidate,
+                resolved_profile,
+                source_model=source_model,
+                augment=augment,
+                budget=budget,
+            )
+            return result.verdict == "positive"
+
+        return reduce_test(litmus, check, max_checks=max_checks)
 
     def campaign_sharded(self, plan: CampaignPlan, shards: int) -> CampaignStream:
         """Run all ``shards`` deterministic shards of ``plan`` through

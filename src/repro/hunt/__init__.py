@@ -1,0 +1,39 @@
+"""``repro.hunt`` — mutation-guided bug hunting with automatic reduction.
+
+The paper's evaluation rests on *finding* compiler bugs, not just
+re-checking known litmus tests, and its future-work line expects that
+"conducting mutation-based testing will find more bugs" (§V).  This
+package is that loop, built from three parts the campaign engine
+composes (``CampaignPlan(mode="hunt")``, :meth:`repro.api.Session.hunt`):
+
+* :class:`HuntScheduler` — feedback-driven, digest-deduplicated
+  scheduling of mutants (positives first), with full lineage;
+* :func:`reduce_test` — delta-debugging reduction of every positive to
+  a 1-minimal reproducer, each step re-verified through the cached
+  toolchain;
+* :mod:`~repro.hunt.seeds` — example seeds whose mutants expose the
+  paper's Fig. 1 bug (``telechat hunt --seeds examples``).
+"""
+
+from .reduce import (
+    ReductionError,
+    ReductionResult,
+    ReductionStep,
+    reduce_test,
+    test_size,
+)
+from .scheduler import HuntLineage, HuntScheduler
+from .seeds import example_seeds, fig1_masked, lb_masked
+
+__all__ = [
+    "HuntLineage",
+    "HuntScheduler",
+    "ReductionError",
+    "ReductionResult",
+    "ReductionStep",
+    "example_seeds",
+    "fig1_masked",
+    "lb_masked",
+    "reduce_test",
+    "test_size",
+]

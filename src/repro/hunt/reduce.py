@@ -1,0 +1,298 @@
+"""Delta-debugging reduction of positive litmus tests.
+
+A hunt campaign's raw positives are mutants of whatever seed happened to
+expose the bug — often carrying threads, statements, condition conjuncts
+and initialised locations that have nothing to do with the miscompile.
+:func:`reduce_test` shrinks a positive to a 1-minimal reproducer: it
+greedily tries, smallest-change first,
+
+* dropping a whole thread (only threads the final-state condition does
+  not observe — the reproducer must keep meaning what it says);
+* dropping one statement;
+* weakening the exists-clause by one conjunct (which also shrinks the
+  mcompare observation domain);
+* dropping initialised locations nothing references any more;
+
+re-verifying **every** candidate through the caller's ``check`` oracle
+(for hunts: the cached :meth:`~repro.toolchain.Toolchain.run_tv`, so a
+rejected candidate usually costs one target simulation, not a whole
+chain).  A candidate that fails to compile or simulate counts as
+rejected, never as an error.
+
+Termination is structural: every accepted step strictly decreases the
+test's size measure (threads + statements + condition conjuncts + init
+entries), and each pass tries finitely many candidates, so reduction
+always terminates — on an already-minimal test it stops after one
+no-progress pass with zero steps taken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from ..core.errors import ReproError
+from ..core.litmus import And, Condition, Prop, conj
+from ..lang.ast import (
+    AtomicLoad,
+    AtomicRMW,
+    AtomicStore,
+    CExpr,
+    CLitmus,
+    CThread,
+    PlainLoad,
+    PlainStore,
+)
+
+
+class ReductionError(ReproError):
+    """The input test does not satisfy the oracle — nothing to reduce."""
+
+
+@dataclass(frozen=True)
+class ReductionStep:
+    """One accepted shrink."""
+
+    action: str  # "drop-thread" | "drop-stmt" | "weaken-condition" | "drop-init"
+    detail: str
+    #: content digest of the test *after* this step
+    digest: str
+
+    def as_record(self) -> Dict[str, object]:
+        return {"action": self.action, "detail": self.detail,
+                "digest": self.digest}
+
+
+@dataclass
+class ReductionResult:
+    """What reduction produced, with full lineage."""
+
+    original: CLitmus
+    reduced: CLitmus
+    steps: Tuple[ReductionStep, ...]
+    #: oracle invocations spent (the reduction's whole cost)
+    checks: int
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.steps)
+
+    @property
+    def original_statements(self) -> int:
+        return test_size(self.original)
+
+    @property
+    def reduced_statements(self) -> int:
+        return test_size(self.reduced)
+
+    def lineage(self) -> Dict[str, object]:
+        """The reduction-lineage fields hunt store records carry."""
+        return {
+            "reduced_from": self.original.digest(),
+            "reduction_steps": [step.as_record() for step in self.steps],
+            "reduction_checks": self.checks,
+        }
+
+
+def test_size(litmus: CLitmus) -> int:
+    """Statements across all threads — the size 'no larger than the
+    hand-written test' claims are stated in."""
+    return sum(len(thread.body) for thread in litmus.threads)
+
+
+test_size.__test__ = False  # type: ignore[attr-defined]  # not a pytest test
+
+
+def _measure(litmus: CLitmus) -> int:
+    """The strictly-decreasing termination measure."""
+    leaves = len(_conjuncts(litmus.condition.prop))
+    return test_size(litmus) + len(litmus.threads) + leaves + len(litmus.init)
+
+
+# --------------------------------------------------------------------------- #
+# reference walking (what a candidate may safely drop)
+# --------------------------------------------------------------------------- #
+def _expr_locations(expr: CExpr) -> Iterator[str]:
+    if isinstance(expr, (PlainLoad, AtomicLoad)):
+        yield expr.loc
+    elif isinstance(expr, AtomicRMW):
+        yield expr.loc
+        yield from _expr_locations(expr.operand)
+    for attr in ("left", "right", "operand"):
+        child = getattr(expr, attr, None)
+        if isinstance(child, CExpr):
+            yield from _expr_locations(child)
+
+
+def _stmt_locations(stmt) -> Iterator[str]:
+    if isinstance(stmt, (PlainStore, AtomicStore)):
+        yield stmt.loc
+    expr = getattr(stmt, "expr", None)
+    if isinstance(expr, CExpr):
+        yield from _expr_locations(expr)
+    cond = getattr(stmt, "cond", None)
+    if isinstance(cond, CExpr):
+        yield from _expr_locations(cond)
+    for attr in ("then_body", "else_body", "body"):
+        for child in getattr(stmt, attr, ()) or ():
+            yield from _stmt_locations(child)
+
+
+def _referenced_locations(litmus: CLitmus) -> Set[str]:
+    used: Set[str] = set()
+    for thread in litmus.threads:
+        used.update(thread.params)
+        for stmt in thread.body:
+            used.update(_stmt_locations(stmt))
+    for name in litmus.condition.observables():
+        if ":" not in name:  # a location, not a Pn:r register
+            used.add(name)
+    return used
+
+
+def _conjuncts(prop: Prop) -> List[Prop]:
+    if isinstance(prop, And):
+        return _conjuncts(prop.left) + _conjuncts(prop.right)
+    return [prop]
+
+
+def _observed_threads(litmus: CLitmus) -> Set[str]:
+    observed: Set[str] = set()
+    for name in litmus.condition.observables():
+        if ":" in name:
+            observed.add(name.split(":", 1)[0])
+    return observed
+
+
+# --------------------------------------------------------------------------- #
+# candidate generation
+# --------------------------------------------------------------------------- #
+def _rebuild(litmus: CLitmus, **changes) -> CLitmus:
+    return CLitmus(
+        name=litmus.name,
+        init=changes.get("init", dict(litmus.init)),
+        condition=changes.get("condition", litmus.condition),
+        threads=changes.get("threads", litmus.threads),
+        widths=dict(litmus.widths),
+        const_locations=litmus.const_locations,
+    )
+
+
+def _candidates(litmus: CLitmus) -> Iterator[Tuple[CLitmus, str, str]]:
+    """Every one-step shrink of ``litmus``: (candidate, action, detail)."""
+    observed = _observed_threads(litmus)
+    if len(litmus.threads) > 1:
+        for index, thread in enumerate(litmus.threads):
+            if thread.name in observed:
+                continue  # the condition names this thread's registers
+            threads = litmus.threads[:index] + litmus.threads[index + 1:]
+            yield (
+                _rebuild(litmus, threads=threads),
+                "drop-thread",
+                thread.name,
+            )
+    for t_index, thread in enumerate(litmus.threads):
+        for s_index in range(len(thread.body)):
+            body = thread.body[:s_index] + thread.body[s_index + 1:]
+            threads = list(litmus.threads)
+            threads[t_index] = CThread(
+                name=thread.name,
+                params=thread.params,
+                body=body,
+                atomic_params=thread.atomic_params,
+            )
+            yield (
+                _rebuild(litmus, threads=tuple(threads)),
+                "drop-stmt",
+                f"{thread.name}[{s_index}]",
+            )
+    leaves = _conjuncts(litmus.condition.prop)
+    if len(leaves) > 1:
+        for index, leaf in enumerate(leaves):
+            weakened = conj(leaves[:index] + leaves[index + 1:])
+            yield (
+                _rebuild(
+                    litmus,
+                    condition=Condition(litmus.condition.quantifier, weakened),
+                ),
+                "weaken-condition",
+                f"drop {leaf}",
+            )
+    used = _referenced_locations(litmus)
+    for loc in sorted(litmus.init):
+        if loc in used:
+            continue
+        init = {k: v for k, v in litmus.init.items() if k != loc}
+        yield _rebuild(litmus, init=init), "drop-init", loc
+
+
+# --------------------------------------------------------------------------- #
+# the reducer
+# --------------------------------------------------------------------------- #
+def reduce_test(
+    litmus: CLitmus,
+    check: Callable[[CLitmus], bool],
+    *,
+    max_checks: Optional[int] = None,
+) -> ReductionResult:
+    """Shrink ``litmus`` to a 1-minimal test still satisfying ``check``.
+
+    ``check`` is the bug oracle — for compiler hunts, "run_tv still says
+    positive".  It is called once on the input (raising
+    :class:`ReductionError` if it does not hold — reducing a test that
+    does not exhibit the bug would silently return garbage) and once per
+    candidate; a candidate whose check raises a
+    :class:`~repro.core.errors.ReproError` (failed to compile, simulate,
+    …) is rejected like any other.  ``max_checks`` bounds the budget:
+    when exhausted, the best reproducer found so far is returned.
+    """
+    checks = 0
+
+    def oracle(candidate: CLitmus) -> bool:
+        nonlocal checks
+        checks += 1
+        try:
+            return bool(check(candidate))
+        except ReproError:
+            return False
+
+    if not oracle(litmus):
+        raise ReductionError(
+            f"test {litmus.name!r} does not satisfy the reduction oracle; "
+            f"nothing to reduce"
+        )
+
+    current = litmus
+    steps: List[ReductionStep] = []
+    progress = True
+    while progress:
+        progress = False
+        for candidate, action, detail in _candidates(current):
+            assert _measure(candidate) < _measure(current)
+            if max_checks is not None and checks >= max_checks:
+                progress = False
+                break
+            if oracle(candidate):
+                current = candidate
+                steps.append(
+                    ReductionStep(
+                        action=action, detail=detail,
+                        digest=candidate.digest(),
+                    )
+                )
+                progress = True
+                break  # restart candidate enumeration on the smaller test
+        if max_checks is not None and checks >= max_checks:
+            break
+
+    if steps:
+        base = litmus.name.split("+", 1)[0]
+        current = replace(
+            current, name=f"{base}+min.{current.digest()[:6]}"
+        )
+    return ReductionResult(
+        original=litmus,
+        reduced=current,
+        steps=tuple(steps),
+        checks=checks,
+    )

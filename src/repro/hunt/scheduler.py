@@ -1,0 +1,160 @@
+"""The feedback-driven hunt scheduler.
+
+A hunt campaign's work list is not fixed up front: round 0 runs the seed
+tests, and every later round mutates what the previous rounds learned.
+:class:`HuntScheduler` owns that state — which tests have been
+scheduled (by content digest, so the same mutant reached from two seeds
+runs once), which have already been mutated, and the full mutation
+*lineage* of every test (parent digest, operator, site, depth) that the
+store records and :class:`~repro.api.events.CellFinished` events carry.
+
+Scheduling policy (the paper's "conducting mutation-based testing will
+find more bugs" loop, §V): each round mutates the not-yet-mutated tests,
+**positives first** — a test whose cells went positive marks a region of
+the test family where the compiler is already known to be wrong, so its
+neighbours are the most promising mutants.  Ordering within the
+positive/non-positive classes follows schedule order, which makes the
+whole hunt deterministic: the same seeds and verdicts produce the same
+rounds on every backend (the property hunt fold-parity rests on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..core.registry import Registry
+from ..lang.ast import CLitmus
+from ..tools.mutate import DEFAULT_OPERATORS, iter_mutants
+
+
+@dataclass(frozen=True)
+class HuntLineage:
+    """How one hunt test came to be scheduled."""
+
+    digest: str
+    #: the digest of the test this one was mutated from (None for seeds)
+    parent: Optional[str] = None
+    operator: Optional[str] = None
+    site: Optional[str] = None
+    #: mutation distance from a seed (0 for the seeds themselves)
+    depth: int = 0
+
+    def as_record(self) -> Dict[str, object]:
+        """The lineage fields merged into a hunt verdict record."""
+        record: Dict[str, object] = {"depth": self.depth}
+        if self.parent is not None:
+            record["seed"] = self.parent
+            record["operator"] = self.operator
+            record["site"] = self.site
+        return record
+
+
+class HuntScheduler:
+    """Digest-deduplicated, positive-first mutation scheduling."""
+
+    def __init__(
+        self,
+        seeds: Sequence[CLitmus],
+        *,
+        operators: Optional[Sequence[str]] = None,
+        registry: Optional[Registry] = None,
+        round_limit: int = 64,
+    ) -> None:
+        self.operators = (
+            tuple(operators) if operators is not None else DEFAULT_OPERATORS
+        )
+        self.registry = registry
+        self.round_limit = round_limit
+        self._tests: Dict[str, CLitmus] = {}
+        self._order: List[str] = []
+        self._lineage: Dict[str, HuntLineage] = {}
+        self._mutated: Set[str] = set()
+        #: mutants already enumerated per partially-mutated parent, so a
+        #: round_limit-interrupted parent resumes where it stopped
+        #: instead of re-counting its admitted prefix as duplicates
+        self._consumed: Dict[str, int] = {}
+        self.duplicates_skipped = 0
+        self._seeds: List[CLitmus] = []
+        for seed in seeds:
+            digest = seed.digest()
+            if digest in self._tests:
+                self.duplicates_skipped += 1
+                continue
+            self._admit(seed, HuntLineage(digest=digest))
+            self._seeds.append(seed)
+
+    # ------------------------------------------------------------------ #
+    def _admit(self, litmus: CLitmus, lineage: HuntLineage) -> None:
+        self._tests[lineage.digest] = litmus
+        self._order.append(lineage.digest)
+        self._lineage[lineage.digest] = lineage
+
+    def initial(self) -> List[CLitmus]:
+        """Round 0: the deduplicated seeds."""
+        return list(self._seeds)
+
+    def next_round(self, positives: Iterable[str]) -> List[CLitmus]:
+        """Schedule the next round's mutants, given the digests of every
+        test with a positive cell so far.
+
+        Mutates the not-yet-mutated tests positives-first (stable within
+        each class), deduplicates against everything ever scheduled, and
+        stops at ``round_limit`` new mutants — a partially-mutated parent
+        stays unmarked, so the next round resumes it (already-scheduled
+        mutants simply dedup away).  Returns an empty list when the
+        family is exhausted.
+        """
+        positive_set = set(positives)
+        parents = sorted(
+            (d for d in self._order if d not in self._mutated),
+            key=lambda d: 0 if d in positive_set else 1,
+        )
+        scheduled: List[CLitmus] = []
+        for parent in parents:
+            depth = self._lineage[parent].depth + 1
+            already_consumed = self._consumed.get(parent, 0)
+            exhausted_parent = True
+            for position, mutation in enumerate(iter_mutants(
+                self._tests[parent],
+                operators=self.operators,
+                registry=self.registry,
+            )):
+                if position < already_consumed:
+                    continue  # re-enumerating a resumed parent's prefix
+                if len(scheduled) >= self.round_limit:
+                    exhausted_parent = False
+                    break
+                self._consumed[parent] = position + 1
+                if mutation.digest in self._tests:
+                    self.duplicates_skipped += 1
+                    continue
+                self._admit(
+                    mutation.litmus,
+                    HuntLineage(
+                        digest=mutation.digest,
+                        parent=parent,
+                        operator=mutation.operator,
+                        site=mutation.site,
+                        depth=depth,
+                    ),
+                )
+                scheduled.append(mutation.litmus)
+            if exhausted_parent:
+                self._mutated.add(parent)
+                self._consumed.pop(parent, None)
+            else:
+                break
+        return scheduled
+
+    # ------------------------------------------------------------------ #
+    def test(self, digest: str) -> CLitmus:
+        return self._tests[digest]
+
+    def lineage(self, digest: str) -> HuntLineage:
+        return self._lineage[digest]
+
+    @property
+    def unique_tests(self) -> int:
+        """Distinct tests scheduled so far (seeds included)."""
+        return len(self._tests)

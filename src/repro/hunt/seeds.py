@@ -1,0 +1,77 @@
+"""Example hunt seeds — tests that *hide* the bugs their mutants expose.
+
+A good hunt demo starts from seeds the campaign engine calls clean:
+every cell equal or negative, nothing to report.  Mutation then walks
+the test family until the ordering that masked the bug is weakened away.
+These are the seeds behind ``telechat hunt --seeds examples``:
+
+* :func:`fig1_masked` — the paper's Fig. 1 ``atomic_exchange`` shape
+  with a **seq_cst** fence after the exchange.  The full barrier (DMB
+  ISH) orders even the NORET read, so the buggy SWP selection
+  (LLVM #68428, present in the default llvm-16 epoch) is invisible; one
+  ``weaken-fence`` mutation (seq_cst → acquire) reproduces Fig. 1
+  exactly — by content digest, the mutant *is* ``fig1_exchange``.
+* :func:`lb_masked` — load buffering with acquire loads and release
+  stores.  Fully ordered, the LB outcome is forbidden everywhere; it
+  takes **two** weakenings on the same thread (load and store to
+  relaxed) before AArch64 may reorder them, so this seed only turns
+  positive in hunt round 2 — the multi-round, feedback-driven case.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..lang.ast import CLitmus
+from ..lang.parser import parse_c_litmus
+
+FIG1_MASKED_SOURCE = r"""
+C fig1_masked
+{ *x = 0; *y = 0; }
+
+void P0(atomic_int* y, atomic_int* x) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+  atomic_thread_fence(memory_order_release);
+  atomic_store_explicit(y, 1, memory_order_relaxed);
+}
+
+void P1(atomic_int* y, atomic_int* x) {
+  atomic_exchange_explicit(y, 2, memory_order_release);
+  atomic_thread_fence(memory_order_seq_cst);
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+}
+
+exists (P1:r0=0 /\ y=2)
+"""
+
+LB_MASKED_SOURCE = r"""
+C lb_masked
+{ *x = 0; *y = 0; }
+
+void P0(atomic_int* y, atomic_int* x) {
+  int r0 = atomic_load_explicit(x, memory_order_acquire);
+  atomic_store_explicit(y, 1, memory_order_release);
+}
+
+void P1(atomic_int* y, atomic_int* x) {
+  int r0 = atomic_load_explicit(y, memory_order_acquire);
+  atomic_store_explicit(x, 1, memory_order_release);
+}
+
+exists (P0:r0=1 /\ P1:r0=1)
+"""
+
+
+def fig1_masked() -> CLitmus:
+    """Fig. 1 with the bug masked behind a full fence (round-1 find)."""
+    return parse_c_litmus(FIG1_MASKED_SOURCE, "fig1_masked")
+
+
+def lb_masked() -> CLitmus:
+    """Fully-ordered load buffering (round-2 find)."""
+    return parse_c_litmus(LB_MASKED_SOURCE, "lb_masked")
+
+
+def example_seeds() -> List[CLitmus]:
+    """The ``telechat hunt --seeds examples`` seed set."""
+    return [fig1_masked(), lb_masked()]

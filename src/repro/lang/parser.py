@@ -210,7 +210,19 @@ class _CParser:
         # optional "C <name>" header
         if self.at("ident", "C") and not self.at("op", "{", 1):
             self.next()
-            name = self.next().text
+            name_tok = self.next()
+            name = name_tok.text
+            # names may carry '+'/'.'-joined suffixes (mutants are
+            # "<seed>+<operator>.<digest>", reductions "<base>+min.<digest>");
+            # the name extends along the header line until the init block
+            # opens ("C mp { ... }" on one line stays valid), so printed
+            # hunt artifacts round-trip through the parser
+            while (
+                self.peek() is not None
+                and self.peek().line == name_tok.line
+                and not self.at("op", "{")
+            ):
+                name += self.next().text
         init, widths, const_locs = self.parse_init()
         threads: List[CThread] = []
         self._param_widths: Dict[str, int] = {}
@@ -487,9 +499,11 @@ class _CParser:
         kw = self.expect("ident").text
         if kw not in ("exists", "forall"):
             raise ParseError(f"expected exists/forall, got {kw!r}")
-        self.expect("op", "(")
+        # parentheses are conventional but optional — the printer emits
+        # single-atom conditions bare (``exists P1:r0=0``, the shape
+        # condition-weakening reductions produce), and parse_prop_atom
+        # handles a parenthesised group anyway
         prop = self.parse_prop()
-        self.expect("op", ")")
         if negated:
             if kw != "exists":
                 raise ParseError("~forall is not supported")

@@ -1,34 +1,26 @@
-"""The large-scale differential-testing campaign (paper §IV-D, Table IV).
+"""Campaign reports, caches and verdict records (paper Table IV).
 
-Runs a diy-generated test suite through every (compiler × flag × arch)
-profile and tabulates positive/negative differences per cell, exactly in
-the shape of the paper's Table IV.  The absolute counts scale with the
-configured suite; the *shape* is the reproduction target:
+The campaign *runner* lives in :mod:`repro.api.engine`; this module owns
+the batch-side vocabulary every backend and mode shares:
 
-* positive differences appear only on Armv8, Armv7, RISC-V and PowerPC
-  (the load-buffering family of Fig. 7);
-* Intel x86-64 (TSO) and MIPS (conservatively SYNC-bracketed atomics)
-  show none;
-* GCC at ``-O1`` on Armv7 shows *extra* positives (the deleted control
-  dependency), masked at ``-O2+`` by if-conversion's data dependency;
-* re-running with ``source_model="rc11+lb"`` makes every positive
-  difference disappear (Claim 4).
+* :class:`CampaignReport` / :class:`CampaignCell` — the tally in the
+  paper's Table IV layout, plus :func:`merge_reports` for folding shard
+  reports back into the single-run table;
+* :class:`SourceSimCache` / :class:`ResultCache` — the exactly-once
+  in-memory caches (keyed by :meth:`CLitmus.digest` content identity,
+  never test names, so two different tests named ``LB001`` can't share
+  a verdict);
+* the verdict-record shapers (``_verdict_record``/``_shape_record``) —
+  the single status contract the serial, thread and process backends
+  and the persistent store all speak;
+* the deprecated batch shim :func:`run_campaign`.
 
-Campaigns scale past one process and one session:
-
-* ``workers=N`` runs cells through a thread pool (in-process caches
-  shared), ``processes=N`` through a ``ProcessPoolExecutor`` (one source
-  cache per worker process, verdicts returned as records);
-* ``store=`` appends every verdict to a persistent
-  :class:`~repro.pipeline.store.CampaignStore`; ``resume=True`` replays
-  stored verdicts so a warm re-run simulates nothing;
-* ``shard=(k, n)`` runs the k-th of n deterministic cell partitions, and
-  :func:`merge_reports` folds the shard reports back into the single-run
-  Table IV.
-
-All caches and store keys use :meth:`CLitmus.digest` — content identity,
-never test names, so verdicts shared across campaigns can't be poisoned
-by two different tests named ``LB001``.
+The reproduction target is the *shape* of Table IV, whatever the suite
+size: positives only on Armv8, Armv7, RISC-V and PowerPC (the Fig. 7
+load-buffering family); none on x86-64 (TSO) or MIPS; extra positives
+for GCC ``-O1`` on Armv7 (the deleted control dependency, masked at
+``-O2+``); and every positive disappears under
+``source_model="rc11+lb"`` (Claim 4).
 """
 
 from __future__ import annotations
@@ -452,45 +444,30 @@ def run_campaign(
     resume: bool = False,
     shard: Optional[Tuple[int, int]] = None,
 ) -> CampaignReport:
-    """Run the Table IV campaign.
-
-    Either pass pre-generated ``tests`` or a diy ``config`` to generate
-    them.  Timeouts are recorded, not raised — large ring shapes can
-    exceed the budget, as in the paper's 5+-thread caveat.
-
-    The source side of each test is simulated once per source model (in
-    the shared ``source_cache``) and reused by every (arch × opt ×
-    compiler) cell.  ``workers`` > 1 runs cells through a
-    ``concurrent.futures`` thread pool, ``processes`` > 0 through a
-    process pool (overriding ``workers``); tallying stays in the caller's
-    thread, so reports are deterministic regardless of parallelism.
-    Pass a shared ``result_cache`` to skip identical cells across
-    repeated campaigns in one process (thread/serial execution only —
-    in-memory caches cannot cross the process boundary, so the process
-    backend rejects them; use a ``store`` there instead).
-
-    ``store`` (a :class:`CampaignStore` or a path) persists every verdict;
-    with ``resume=True``, cells whose key is already stored are replayed
-    without any simulation, so a warm re-run costs nothing.  ``shard=(k,
-    n)`` evaluates only the k-th of n deterministic partitions of the
-    cell work list — run the n shards anywhere, then
-    :func:`merge_reports` their reports back into the full Table IV.
+    """Deprecated batch shim over the streaming campaign engine.
 
     .. deprecated::
-        This is a batch shim over the streaming engine: it builds a
-        :class:`repro.api.CampaignPlan`, runs it in a throwaway
-        :class:`repro.api.Session`, and folds the event stream back into
-        the :class:`CampaignReport` it always returned.  New code should
-        hold a session and consume the stream.  Calling this from inside
-        :mod:`repro` raises.
+        Use ``Session().run(CampaignPlan(...))`` — or, for streaming,
+        ``Session().campaign(plan)`` — from :mod:`repro.api`.  This shim
+        survives for external callers only (README: deprecation policy);
+        calling it from inside :mod:`repro` raises.
+
+    It no longer contains a campaign runner: every keyword argument maps
+    onto a :class:`repro.api.CampaignPlan` field, the plan runs in a
+    throwaway :class:`repro.api.Session` (carrying the given caches and
+    ``store``), and the event stream folds back into the
+    :class:`CampaignReport` this function always returned.  The
+    historical ``ValueError`` contracts (resume-without-store, process
+    pool + in-memory caches, bad shard) are enforced by the plan and the
+    engine — :class:`~repro.api.PlanError` subclasses ``ValueError``
+    with the same messages.  Campaign semantics (hoisted source
+    simulation, worker pools, store replay, shard merging) are
+    documented on the plan and engine, not here.
     """
     from ..api import CampaignPlan, Session
     from ..api._deprecation import warn_deprecated
 
     warn_deprecated("run_campaign()", "Session.campaign(CampaignPlan(...))")
-    # the historical ValueError contracts (resume-without-store, process
-    # pool + in-memory caches, bad shard) are enforced by the plan and
-    # the engine; PlanError subclasses ValueError with the same messages
     plan = CampaignPlan(
         tests=None if tests is None else tuple(tests),
         config=config,

@@ -17,6 +17,12 @@ Mirrors the paper artefact's Makefile entry points:
   shape name) and print every stage's artifact: the prepared source,
   the disassembly, the lifted litmus, both outcome sets (with the herd
   execution dot dump) and the mcompare verdict;
+* ``telechat hunt --seeds ...`` — the mutation-guided bug hunt (§V):
+  mutate the seeds round by round (positives first), minimise every
+  positive, and print the minimal reproducers; exits 1 when the hunt
+  found nothing;
+* ``telechat reduce TEST`` — delta-debug one positive test to a
+  1-minimal reproducer and print its C source;
 * ``telechat models`` / ``telechat shapes`` / ``telechat profiles`` —
   inventory listings (``--json`` for registry metadata).
 
@@ -31,7 +37,13 @@ import json
 import sys
 from typing import List, Optional
 
-from ..api import CampaignPlan, CellFinished, Session
+from ..api import (
+    CampaignPlan,
+    CellFinished,
+    HuntProgress,
+    Session,
+    TestReduced,
+)
 from ..cat.registry import MODELS
 from ..compiler.profiles import ARCHES, EPOCHS, default_profiles
 from ..lang.parser import parse_c_litmus
@@ -194,6 +206,155 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_seeds(session: Session, specs: List[str]) -> list:
+    """The hunt seed list: each spec is ``examples`` (the shipped
+    bug-hiding seed set), ``paper`` (the figure tests), or anything
+    ``telechat explain`` accepts (a file, a figure name, a shape)."""
+    from ..hunt import example_seeds
+    from ..tools.sources import PaperSource
+
+    seeds = []
+    for spec in specs:
+        if spec == "examples":
+            seeds.extend(example_seeds())
+        elif spec == "paper":
+            seeds.extend(PaperSource())
+        else:
+            seeds.append(_resolve_test_arg(session, spec))
+    return seeds
+
+
+def _cmd_hunt(args: argparse.Namespace) -> int:
+    if args.resume and not args.store:
+        print("--resume needs --store", file=sys.stderr)
+        return 2
+    store = CampaignStore(args.store) if args.store else None
+    session = Session(store=store)
+    seeds = _resolve_seeds(session, args.seeds)
+    plan = CampaignPlan(
+        mode="hunt",
+        tests=tuple(seeds),
+        arches=tuple(args.arch) if args.arch else ("aarch64",),
+        opts=tuple(args.opt) if args.opt else ("-O2",),
+        source_model=args.cmem,
+        workers=args.workers,
+        processes=args.processes,
+        resume=args.resume,
+        mutations=tuple(args.operators) if args.operators else None,
+        mutation_rounds=args.rounds,
+        mutation_limit=args.limit,
+        reduce=not args.no_reduce,
+    )
+
+    if args.progress is None:
+        progress = sys.stderr.isatty() and not args.json
+    else:
+        progress = args.progress
+
+    positives = []  # CellFinished events, first per digest
+    seen_positive = set()
+    reductions = []  # TestReduced events
+    for event in session.hunt(plan):
+        if args.json:
+            print(json.dumps(event.as_dict(), sort_keys=True))
+        if isinstance(event, CellFinished):
+            if event.verdict == "positive" and event.digest not in seen_positive:
+                seen_positive.add(event.digest)
+                positives.append(event)
+            if progress:
+                print(
+                    f"  {event.test} {event.arch} {event.opt} "
+                    f"{event.compiler}: {event.verdict or event.status}",
+                    file=sys.stderr,
+                )
+        elif isinstance(event, HuntProgress):
+            if progress:
+                print(
+                    f"round {event.round_index}: {event.cells} cells, "
+                    f"{event.positives} positive tests so far, "
+                    f"{event.scheduled} mutants scheduled",
+                    file=sys.stderr,
+                )
+        elif isinstance(event, TestReduced):
+            reductions.append(event)
+            if progress:
+                print(
+                    f"reduced {event.test}: {event.original_statements} -> "
+                    f"{event.reduced_statements} statements "
+                    f"({event.steps} steps, {event.checks} checks)",
+                    file=sys.stderr,
+                )
+
+    if not args.json:
+        if not positives:
+            print("hunt found no positives")
+        for event in positives:
+            record = event.record
+            lineage = ""
+            if record.get("operator"):
+                lineage = (
+                    f"  [{record['operator']} @ {record.get('site', '?')}, "
+                    f"depth {record.get('depth', '?')}]"
+                )
+            print(
+                f"positive: {event.test} ({event.arch} {event.opt} "
+                f"{event.compiler}){lineage}"
+            )
+        for event in reductions:
+            print(
+                f"\nminimal reproducer for {event.test} "
+                f"({event.original_statements} -> "
+                f"{event.reduced_statements} statements):"
+            )
+            source = event.record.get("source")
+            if source:
+                print("  " + str(source).rstrip().replace("\n", "\n  "))
+        if store is not None:
+            print(
+                f"\nstore {store.path}: {len(store)} verdicts "
+                f"({store.appended} appended)"
+            )
+    # exit 0 when the hunt found something — the scripted analogue of
+    # `telechat test`'s exit-1-on-positive, inverted: a hunt that comes
+    # back empty-handed is the failure case
+    return 0 if positives else 1
+
+
+def _cmd_reduce(args: argparse.Namespace) -> int:
+    from ..herd.enumerate import Budget
+    from ..lang.printer import print_c_litmus
+
+    session = Session()
+    litmus = _resolve_test_arg(session, args.test)
+    profile = (args.compiler, args.opt, args.arch)
+    result = session.test(litmus, profile, source_model=args.cmem)
+    if result.verdict != "positive":
+        print(
+            f"{litmus.name}: verdict {result.verdict} under "
+            f"{session.profile(profile).name} — nothing to reduce "
+            f"(the reducer keeps a positive verdict positive)",
+            file=sys.stderr,
+        )
+        return 2
+    reduction = session.reduce(
+        litmus,
+        profile,
+        source_model=args.cmem,
+        # one deadline for the whole reduction (measured from first use)
+        budget=Budget(deadline_seconds=args.timeout),
+    )
+    print(
+        f"{litmus.name}: {reduction.original_statements} -> "
+        f"{reduction.reduced_statements} statements in "
+        f"{len(reduction.steps)} steps ({reduction.checks} checks)"
+    )
+    for step in reduction.steps:
+        print(f"  {step.action}: {step.detail}")
+    print()
+    print(print_c_litmus(reduction.reduced))
+    return 0
+
+
 def _print_inventory(args: argparse.Namespace, registry) -> int:
     if getattr(args, "json", False):
         print(json.dumps(registry.metadata(), indent=2, sort_keys=True))
@@ -299,6 +460,70 @@ def build_parser() -> argparse.ArgumentParser:
                               "configuration — slow)")
     explain.add_argument("--timeout", type=float, default=120.0)
     explain.set_defaults(func=_cmd_explain)
+
+    hunt = sub.add_parser(
+        "hunt",
+        help="mutation-guided bug hunt: mutate seed tests round by round "
+             "(positives first), minimise every positive to a 1-minimal "
+             "reproducer (exit 1 when nothing was found)",
+    )
+    hunt.add_argument(
+        "--seeds", nargs="+", required=True, metavar="SEED",
+        help="seed tests: 'examples' (shipped bug-hiding seeds), 'paper' "
+             "(the figure tests), or any C litmus file / figure name / "
+             "diy shape",
+    )
+    hunt.add_argument("--arch", action="append", choices=ARCHES,
+                      help="sweep architectures (default: aarch64)")
+    hunt.add_argument("--opt", action="append",
+                      help="sweep optimisation levels (default: -O2)")
+    hunt.add_argument("--cmem", default="rc11", help="source model (CMEM)")
+    hunt.add_argument("--operators", nargs="+", metavar="OP",
+                      help="mutation operators to hunt with (default: the "
+                           "order-weakening set; see repro.tools.mutate)")
+    hunt.add_argument("--rounds", type=int, default=2,
+                      help="mutation rounds beyond the seeds (default 2)")
+    hunt.add_argument("--limit", type=int, default=64,
+                      help="max new mutants per round (default 64)")
+    hunt.add_argument("--no-reduce", action="store_true",
+                      help="keep raw positives instead of minimising them")
+    hunt.add_argument("--workers", type=int, default=1,
+                      help="worker threads")
+    hunt.add_argument("--processes", type=int, default=0,
+                      help="worker processes (overrides --workers)")
+    hunt.add_argument("--store", metavar="PATH",
+                      help="persistent verdict store (reproducers are "
+                           "stored with mode=hunt + lineage + C source)")
+    hunt.add_argument("--resume", action="store_true",
+                      help="replay verdicts already in --store")
+    hunt.add_argument("--json", action="store_true",
+                      help="emit the typed event stream as JSON lines")
+    hunt.add_argument("--progress", dest="progress", action="store_true",
+                      default=None,
+                      help="per-cell/round progress on stderr (default: on "
+                           "when stderr is a tty)")
+    hunt.add_argument("--no-progress", dest="progress", action="store_false")
+    hunt.set_defaults(func=_cmd_hunt)
+
+    reduce_cmd = sub.add_parser(
+        "reduce",
+        help="delta-debug one positive test to a 1-minimal reproducer "
+             "and print it",
+    )
+    reduce_cmd.add_argument(
+        "test",
+        help="a C litmus file, a paper figure name (fig1_exchange), or a "
+             "diy shape name",
+    )
+    reduce_cmd.add_argument("--compiler", choices=("llvm", "gcc"),
+                            default="llvm")
+    reduce_cmd.add_argument("--opt", default="-O2")
+    reduce_cmd.add_argument("--arch", choices=ARCHES, default="aarch64")
+    reduce_cmd.add_argument("--cmem", default="rc11",
+                            help="source model (CMEM)")
+    reduce_cmd.add_argument("--timeout", type=float, default=120.0,
+                            help="deadline for the whole reduction (s)")
+    reduce_cmd.set_defaults(func=_cmd_reduce)
 
     campaign = sub.add_parser("campaign", help="run the Table IV campaign")
     campaign.add_argument("--small", action="store_true")

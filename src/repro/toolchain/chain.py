@@ -17,6 +17,25 @@ a second target model reuses the compiled litmus, and a differential
 pair whose profiles also appear in a test_tv sweep reuses those
 branches' compiles outright.
 
+Cache-identity invariants (what makes replaying an artifact sound):
+
+* an artifact's key is ``(stage name, stage signature, input keys)``
+  and the graph's root key is :meth:`CLitmus.digest` — pure *content*
+  addresses.  Test names never enter identity, so renamed tests (hunt
+  mutants, reduction outputs, re-generated suites) share artifacts;
+* a stage ``signature()`` must cover every parameter that changes its
+  output — model identity enters as what the name resolves to in the
+  toolchain's model registry (``model_key``), so a session that shadows
+  ``rc11`` can never replay global-rc11 outcome sets, and a swapped
+  stage with a distinct signature never collides with stock artifacts
+  in a shared cache;
+* replay is observationally equivalent to recomputation: a cache hit
+  returns the artifact another run produced under the exact same key,
+  with its original ``seconds`` (timing totals stay honest — consumers
+  flag reuse, they don't zero costs);
+* the cache is *bounded* per stage (see :class:`ArtifactCache`):
+  eviction only ever costs recomputation, never wrong answers.
+
 :meth:`Toolchain.explain` runs either composition with a trace and
 returns a :class:`ToolchainTrace` whose :meth:`~ToolchainTrace.render`
 prints every stage's artifact — the ``repro explain`` CLI command.

@@ -1,0 +1,300 @@
+"""Mutation operators over C litmus tests — the hunt engine's move set.
+
+The "fuzz S′" step of paper Fig. 6 (CCmutator-style [46] order
+weakening) started life as a hard-coded loop in :mod:`repro.tools.l2c`.
+This module promotes it onto the shared :class:`~repro.core.registry.Registry`
+protocol: each *mutation operator* is a registered callable that, given a
+test, yields every single-site application of one transformation —
+weaken a store's memory order, weaken a fence, drop a fence outright —
+and sessions can overlay private operators exactly like private models
+or shapes (:meth:`repro.api.Session.register_mutation`).
+
+Naming invariant: a mutant's name is derived from its *content* —
+``<seed base>+<operator>.<digest prefix>`` — never from a running
+counter.  The historical ``+m{len(variants)}`` suffix collided across
+repeated ``fuzz_variants`` calls on renamed tests (two different mutants
+could both be called ``LB001+m0``); digest-derived names cannot, and
+every hunt cache keys by :meth:`~repro.lang.ast.CLitmus.digest` anyway,
+so names stay purely cosmetic.
+
+An operator is a callable ``(CLitmus) -> Iterator[Tuple[CLitmus, str]]``
+yielding ``(mutated test, site description)`` pairs.  The mutated test's
+name is a placeholder; :func:`iter_mutants` renames it canonically and
+wraps it in a :class:`Mutation` carrying the lineage (seed digest,
+operator, site) the hunt scheduler and store records preserve.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.errors import ReproError
+from ..core.registry import Registry
+from ..core.events import MemoryOrder
+from ..lang.ast import (
+    Assign,
+    AtomicLoad,
+    AtomicRMW,
+    AtomicStore,
+    CExpr,
+    CLitmus,
+    CStmt,
+    CThread,
+    Decl,
+    ExprStmt,
+    Fence,
+    PlainStore,
+)
+
+
+class MutationError(ReproError, KeyError):
+    """An unknown mutation operator was named."""
+
+
+#: the global mutation-operator registry; sessions overlay it.
+MUTATIONS: Registry[Callable[[CLitmus], Iterator[Tuple[CLitmus, str]]]] = Registry(
+    "mutation operator", error=MutationError
+)
+
+#: the order-weakening ladders, per access kind.  Loads have no release
+#: half, stores no acquire half; fences may weaken through every rung.
+_WEAKER_FENCE: Dict[MemoryOrder, Tuple[MemoryOrder, ...]] = {
+    MemoryOrder.SC: (MemoryOrder.ACQ_REL, MemoryOrder.ACQ, MemoryOrder.REL,
+                     MemoryOrder.RLX),
+    MemoryOrder.ACQ_REL: (MemoryOrder.ACQ, MemoryOrder.REL, MemoryOrder.RLX),
+    MemoryOrder.ACQ: (MemoryOrder.RLX,),
+    MemoryOrder.REL: (MemoryOrder.RLX,),
+}
+_WEAKER_STORE: Dict[MemoryOrder, Tuple[MemoryOrder, ...]] = {
+    MemoryOrder.SC: (MemoryOrder.REL, MemoryOrder.RLX),
+    MemoryOrder.REL: (MemoryOrder.RLX,),
+}
+_WEAKER_LOAD: Dict[MemoryOrder, Tuple[MemoryOrder, ...]] = {
+    MemoryOrder.SC: (MemoryOrder.ACQ, MemoryOrder.RLX),
+    MemoryOrder.ACQ: (MemoryOrder.RLX,),
+}
+_WEAKER_RMW: Dict[MemoryOrder, Tuple[MemoryOrder, ...]] = {
+    MemoryOrder.SC: (MemoryOrder.ACQ_REL, MemoryOrder.ACQ, MemoryOrder.REL,
+                     MemoryOrder.RLX),
+    MemoryOrder.ACQ_REL: (MemoryOrder.ACQ, MemoryOrder.REL, MemoryOrder.RLX),
+    MemoryOrder.ACQ: (MemoryOrder.RLX,),
+    MemoryOrder.REL: (MemoryOrder.RLX,),
+}
+
+
+def _with_stmt(
+    litmus: CLitmus, t_index: int, s_index: int, stmt: Optional[CStmt]
+) -> CLitmus:
+    """A copy of ``litmus`` with one statement replaced (or, when ``stmt``
+    is ``None``, dropped)."""
+    thread = litmus.threads[t_index]
+    body = list(thread.body)
+    if stmt is None:
+        del body[s_index]
+    else:
+        body[s_index] = stmt
+    threads = list(litmus.threads)
+    threads[t_index] = CThread(
+        name=thread.name,
+        params=thread.params,
+        body=tuple(body),
+        atomic_params=thread.atomic_params,
+    )
+    return CLitmus(
+        name=litmus.name,
+        init=dict(litmus.init),
+        condition=litmus.condition,
+        threads=tuple(threads),
+        widths=dict(litmus.widths),
+        const_locations=litmus.const_locations,
+    )
+
+
+def _sites(litmus: CLitmus) -> Iterator[Tuple[int, int, CStmt, str]]:
+    """Every (thread index, statement index, statement, site label)."""
+    for t_index, thread in enumerate(litmus.threads):
+        for s_index, stmt in enumerate(thread.body):
+            yield t_index, s_index, stmt, f"{thread.name}[{s_index}]"
+
+
+def _rewrite_expr(expr: CExpr, new_expr: CExpr, stmt: CStmt) -> CStmt:
+    """The statement ``stmt`` with its direct expression swapped."""
+    if isinstance(stmt, (Decl, Assign, ExprStmt, PlainStore, AtomicStore)):
+        return replace(stmt, expr=new_expr)
+    raise TypeError(f"statement {stmt!r} carries no expression")
+
+
+def _stmt_expr(stmt: CStmt) -> Optional[CExpr]:
+    """The statement's direct expression, when it has one.  Litmus bodies
+    keep atomic accesses at the top of a statement (``int r0 = load(...)``),
+    so direct-expression rewriting covers the diy/paper corpus."""
+    if isinstance(stmt, (Decl, Assign, ExprStmt, PlainStore, AtomicStore)):
+        return stmt.expr
+    return None
+
+
+@MUTATIONS.register("weaken-store", doc="weaken an atomic store's memory order")
+def weaken_store(litmus: CLitmus) -> Iterator[Tuple[CLitmus, str]]:
+    for t, s, stmt, site in _sites(litmus):
+        if isinstance(stmt, AtomicStore):
+            for weaker in _WEAKER_STORE.get(stmt.order, ()):
+                yield (
+                    _with_stmt(litmus, t, s, replace(stmt, order=weaker)),
+                    f"{site}:{stmt.order.name}->{weaker.name}",
+                )
+
+
+@MUTATIONS.register("weaken-load", doc="weaken an atomic load's memory order")
+def weaken_load(litmus: CLitmus) -> Iterator[Tuple[CLitmus, str]]:
+    for t, s, stmt, site in _sites(litmus):
+        expr = _stmt_expr(stmt)
+        if isinstance(expr, AtomicLoad):
+            for weaker in _WEAKER_LOAD.get(expr.order, ()):
+                yield (
+                    _with_stmt(
+                        litmus, t, s,
+                        _rewrite_expr(expr, replace(expr, order=weaker), stmt),
+                    ),
+                    f"{site}:{expr.order.name}->{weaker.name}",
+                )
+
+
+@MUTATIONS.register("weaken-rmw", doc="weaken a read-modify-write's memory order")
+def weaken_rmw(litmus: CLitmus) -> Iterator[Tuple[CLitmus, str]]:
+    for t, s, stmt, site in _sites(litmus):
+        expr = _stmt_expr(stmt)
+        if isinstance(expr, AtomicRMW):
+            for weaker in _WEAKER_RMW.get(expr.order, ()):
+                yield (
+                    _with_stmt(
+                        litmus, t, s,
+                        _rewrite_expr(expr, replace(expr, order=weaker), stmt),
+                    ),
+                    f"{site}:{expr.order.name}->{weaker.name}",
+                )
+
+
+@MUTATIONS.register("weaken-fence", doc="weaken a thread fence's memory order")
+def weaken_fence(litmus: CLitmus) -> Iterator[Tuple[CLitmus, str]]:
+    for t, s, stmt, site in _sites(litmus):
+        if isinstance(stmt, Fence):
+            for weaker in _WEAKER_FENCE.get(stmt.order, ()):
+                yield (
+                    _with_stmt(litmus, t, s, replace(stmt, order=weaker)),
+                    f"{site}:{stmt.order.name}->{weaker.name}",
+                )
+
+
+@MUTATIONS.register("drop-fence", doc="delete a thread fence outright")
+def drop_fence(litmus: CLitmus) -> Iterator[Tuple[CLitmus, str]]:
+    for t, s, stmt, site in _sites(litmus):
+        if isinstance(stmt, Fence):
+            yield _with_stmt(litmus, t, s, None), f"{site}:drop {stmt.order.name}"
+
+
+#: the order-weakening move set — what ``fuzz_variants`` and hunt
+#: campaigns apply by default.  ``drop-fence`` changes statement counts,
+#: so it stays opt-in (``mutations=(..., "drop-fence")``).
+DEFAULT_OPERATORS: Tuple[str, ...] = (
+    "weaken-store", "weaken-load", "weaken-rmw", "weaken-fence",
+)
+
+
+def mutant_name(seed: CLitmus, operator: str, digest: str) -> str:
+    """The canonical mutant name: seed base + operator + content digest.
+
+    The base strips any previous mutation suffix, so names stay flat
+    across hunt generations (``LB001+weaken-fence.1a2b3c``, never
+    ``LB001+m0+m3``); the digest prefix makes the name unique per
+    *content*, so repeated calls — on renamed seeds included — can never
+    hand two different mutants the same name.
+    """
+    base = seed.name.split("+", 1)[0]
+    return f"{base}+{operator}.{digest[:6]}"
+
+
+class Mutation:
+    """One mutant plus the lineage the hunt scheduler and store keep."""
+
+    __slots__ = ("litmus", "operator", "site", "seed_digest")
+
+    def __init__(
+        self, litmus: CLitmus, operator: str, site: str, seed_digest: str
+    ) -> None:
+        self.litmus = litmus
+        self.operator = operator
+        self.site = site
+        self.seed_digest = seed_digest
+
+    @property
+    def digest(self) -> str:
+        return self.litmus.digest()
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.litmus.name,
+            "digest": self.digest,
+            "operator": self.operator,
+            "site": self.site,
+            "seed_digest": self.seed_digest,
+        }
+
+
+def iter_mutants(
+    litmus: CLitmus,
+    operators: Optional[Sequence[str]] = None,
+    registry: Optional[Registry] = None,
+) -> Iterator[Mutation]:
+    """Every single-site mutant of ``litmus`` under ``operators``.
+
+    Operators resolve against ``registry`` (a session's overlay, or the
+    global :data:`MUTATIONS`); unknown names raise the registry's
+    did-you-mean error *before* any mutant is built.  Mutants that do not
+    change the test's content (the operator reproduced the input) are
+    filtered out; the caller deduplicates across seeds by digest.
+    """
+    reg = registry if registry is not None else MUTATIONS
+    names = tuple(operators) if operators is not None else DEFAULT_OPERATORS
+    ops = [(reg.resolve(name), reg.get(name)) for name in names]
+    seed_digest = litmus.digest()
+    for canonical, op in ops:
+        for mutated, site in op(litmus):
+            digest = mutated.digest()
+            if digest == seed_digest:
+                continue
+            named = replace(mutated, name=mutant_name(litmus, canonical, digest))
+            yield Mutation(
+                litmus=named, operator=canonical, site=site,
+                seed_digest=seed_digest,
+            )
+
+
+def fuzz_variants(
+    litmus: CLitmus,
+    limit: int = 16,
+    operators: Optional[Sequence[str]] = None,
+    registry: Optional[Registry] = None,
+) -> List[CLitmus]:
+    """Single-mutation variants of a test (order weakening on loads,
+    stores, RMWs and fences) — the Fig. 6 fuzz step, now over the
+    operator registry.  Kept as the historical eager entry point; hunt
+    campaigns use :func:`iter_mutants` (lazy, with lineage) instead."""
+    return [
+        mutation.litmus
+        for mutation in itertools.islice(
+            iter_mutants(litmus, operators=operators, registry=registry), limit
+        )
+    ]
+
+
+__all__ = [
+    "DEFAULT_OPERATORS",
+    "MUTATIONS",
+    "Mutation",
+    "MutationError",
+    "fuzz_variants",
+    "iter_mutants",
+    "mutant_name",
+]

@@ -16,12 +16,25 @@ Shipped sources:
 * :class:`SuiteSource` / :func:`write_suite` — a JSONL corpus of printed
   litmus tests (the parse/print round-trip preserves content digests);
 * :class:`StoreReplaySource` — replay the tests a stored campaign
-  actually saw, filtered by verdict (e.g. re-run only the positives).
+  actually saw, filtered by verdict (e.g. re-run only the positives);
+* :class:`MutationSource` — order/fence-weakening mutants of any seed
+  source (:mod:`repro.tools.mutate`), deduplicated by content digest.
 
-Determinism contract: iterating a source twice yields the same tests in
-the same order, and the ``n`` shards of a source partition exactly the
-tests of the unsharded iteration (``shard(k, n)`` = every n-th test
-starting at the k-th) — the property campaign shard-merging relies on.
+Invariants every source upholds (campaign sharding, store replay and
+hunt dedup all rely on them):
+
+* **determinism** — iterating a source twice yields the same tests in
+  the same order, and the ``n`` shards of a source partition exactly
+  the tests of the unsharded iteration (``shard(k, n)`` = every n-th
+  test starting at the k-th), so shard reports merge back to the
+  single-run report byte-for-byte;
+* **digest preservation** — a test's :meth:`~repro.lang.ast.CLitmus.digest`
+  is a pure function of its content, and the dump/load round-trip
+  through :func:`write_suite`/:class:`SuiteSource` preserves it (the
+  canonical printer guarantees this), so verdicts stored against a
+  suite replay across processes, sessions and files;
+* **laziness** — nothing is generated, parsed or mutated until the
+  iterator advances, and only as far as the consumer pulls.
 """
 
 from __future__ import annotations
@@ -34,6 +47,7 @@ from typing import Dict, Iterable, Iterator, Optional, Sequence, Union
 from ..core.registry import Registry
 from ..lang.ast import CLitmus
 from .diy import DiyConfig, iter_generate
+from .mutate import DEFAULT_OPERATORS, iter_mutants
 
 
 class TestSource:
@@ -271,6 +285,69 @@ class StoreReplaySource(TestSource):
         }
 
 
+class MutationSource(TestSource):
+    """Order/fence-weakening mutants of a seed source, lazily.
+
+    Wraps any :class:`TestSource` (or an in-memory sequence) and yields
+    every seed's single-site mutants under the named mutation operators
+    (:mod:`repro.tools.mutate`), deduplicated by content digest across
+    the whole stream — a mutant reachable from two seeds is yielded
+    once.  ``include_seeds=True`` interleaves each seed before its
+    mutants (the hunt campaign's round-0 + round-1 suite as one flat
+    source); ``limit_per_seed`` caps the mutants taken per seed.
+
+    Like every source, iteration is deterministic, so ``shard(k, n)``
+    partitions the mutant stream exactly.
+    """
+
+    def __init__(
+        self,
+        seeds: Union[TestSource, Sequence[CLitmus]],
+        operators: Optional[Sequence[str]] = None,
+        include_seeds: bool = False,
+        limit_per_seed: Optional[int] = None,
+        registry: Optional[Registry] = None,
+    ) -> None:
+        self.seeds = seeds if isinstance(seeds, TestSource) else ListSource(seeds)
+        self.operators = (
+            tuple(operators) if operators is not None else DEFAULT_OPERATORS
+        )
+        self.include_seeds = include_seeds
+        self.limit_per_seed = limit_per_seed
+        self.registry = registry
+
+    def iter_tests(self, shapes: Optional[Registry] = None) -> Iterator[CLitmus]:
+        seen: set = set()
+        for seed in self.seeds.iter_tests(shapes=shapes):
+            if self.include_seeds:
+                digest = seed.digest()
+                if digest not in seen:
+                    seen.add(digest)
+                    yield seed
+            taken = 0
+            for mutation in iter_mutants(
+                seed, operators=self.operators, registry=self.registry
+            ):
+                if self.limit_per_seed is not None and taken >= self.limit_per_seed:
+                    break
+                digest = mutation.digest
+                if digest in seen:
+                    continue
+                seen.add(digest)
+                taken += 1
+                yield mutation.litmus
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "source": "MutationSource",
+            "count": None,
+            "operators": list(self.operators),
+            "include_seeds": self.include_seeds,
+            "limit_per_seed": self.limit_per_seed,
+            "seeds": self.seeds.describe(),
+        }
+
+
 def as_source(
     tests: Union[TestSource, Sequence[CLitmus], None],
     config: Optional[DiyConfig] = None,
@@ -286,6 +363,7 @@ def as_source(
 __all__ = [
     "DiySource",
     "ListSource",
+    "MutationSource",
     "PaperSource",
     "StoreReplaySource",
     "SuiteSource",

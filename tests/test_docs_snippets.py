@@ -1,0 +1,38 @@
+"""Documentation snippets are tests: execute every fenced ``python``
+block of README.md and docs/cookbook.md (the tier-1 face of the
+``make docs-check`` CI job, sharing scripts/check_docs.py)."""
+
+import importlib.util
+import os
+
+import pytest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+_spec = importlib.util.spec_from_file_location(
+    "check_docs", os.path.join(ROOT, "scripts", "check_docs.py")
+)
+check_docs = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_docs)
+
+
+@pytest.mark.parametrize("name", ["README.md", os.path.join("docs", "cookbook.md")])
+def test_docs_python_blocks_execute(name, capsys):
+    path = os.path.join(ROOT, name)
+    ran = check_docs.run_file(path)
+    assert ran > 0, f"{name} has no executable python blocks"
+
+
+def test_extractor_handles_skip_and_languages():
+    text = (
+        "# t\n```python\nx = 1\n```\n"
+        "```python skip\nraise RuntimeError\n```\n"
+        "```sh\nexit 1\n```\n"
+    )
+    blocks = check_docs.extract_blocks(text)
+    assert [info for _, info, _ in blocks] == ["python", "python skip", "sh"]
+
+
+def test_extractor_rejects_unterminated_fence():
+    with pytest.raises(SystemExit):
+        check_docs.extract_blocks("```python\nx = 1\n")

@@ -1,0 +1,139 @@
+"""mcompare edge cases: StateMapping/default_mapping with empty outcome
+sets, observables absent on one side, renames, and domain projection."""
+
+import pytest
+
+from repro.core.execution import Outcome
+from repro.herd.enumerate import EnumerationStats
+from repro.herd.simulator import SimulationResult
+from repro.tools.mcompare import (
+    StateMapping,
+    default_mapping,
+    mcompare,
+)
+
+
+def sim(name, outcomes, model="rc11", flags=()):
+    return SimulationResult(
+        test_name=name,
+        model_name=model,
+        outcomes=frozenset(Outcome.of(o) for o in outcomes),
+        flags=frozenset(flags),
+        flagged_outcomes=frozenset(),
+        stats=EnumerationStats(),
+    )
+
+
+class TestStateMapping:
+    def test_missing_observables_read_as_zero(self):
+        """Registers absent on one side complete to zero — the Fig. 9
+        deleted-local effect (herd zero-initialises)."""
+        mapping = StateMapping(observables=frozenset({"x", "P0:r0"}))
+        applied = mapping.apply(Outcome.of({"x": 1}))
+        assert applied.as_dict() == {"x": 1, "P0:r0": 0}
+
+    def test_out_of_domain_keys_projected_away(self):
+        mapping = StateMapping(observables=frozenset({"x"}))
+        applied = mapping.apply(
+            Outcome.of({"x": 2, "GOT:x": 7, "stack0": 3})
+        )
+        assert applied.as_dict() == {"x": 2}
+
+    def test_renames_apply_before_projection(self):
+        mapping = StateMapping(
+            observables=frozenset({"P0:r0"}),
+            renames=(("out_P0_r0", "P0:r0"),),
+        )
+        applied = mapping.apply(Outcome.of({"out_P0_r0": 5}))
+        assert applied.as_dict() == {"P0:r0": 5}
+
+    def test_empty_domain_collapses_everything(self):
+        """An empty observable set maps every outcome to the unique
+        empty outcome — the degenerate comparison is always 'equal'."""
+        mapping = StateMapping(observables=frozenset())
+        a = mapping.apply(Outcome.of({"x": 1}))
+        b = mapping.apply(Outcome.of({"y": 9}))
+        assert a == b == Outcome.of({})
+
+
+class TestDefaultMapping:
+    def test_domain_is_locations_plus_condition_observables(self):
+        mapping = default_mapping(["x", "y"], ["P1:r0"])
+        assert mapping.observables == frozenset({"x", "y", "P1:r0"})
+        assert mapping.renames == ()
+
+    def test_empty_everything(self):
+        assert default_mapping([], []).observables == frozenset()
+
+
+class TestMcompareEdges:
+    def test_both_sides_empty_is_equal(self):
+        """Timeout-free but outcome-free simulations (an over-tight
+        budget on both sides) compare equal, not positive."""
+        result = mcompare(sim("t", []), sim("t", [], model="aarch64"))
+        assert result.verdict() == "equal"
+        assert result.is_equal
+
+    def test_empty_source_makes_every_target_outcome_positive(self):
+        result = mcompare(
+            sim("t", []),
+            sim("t", [{"x": 0}, {"x": 1}], model="aarch64"),
+            shared_locations=["x"],
+        )
+        assert result.verdict() == "positive"
+        assert len(result.positive) == 2
+
+    def test_empty_target_is_negative_only(self):
+        """A compiled program that lost every outcome is a negative
+        difference (expected under optimisation), never a bug."""
+        result = mcompare(
+            sim("t", [{"x": 0}]),
+            sim("t", [], model="aarch64"),
+            shared_locations=["x"],
+        )
+        assert result.verdict() == "negative"
+        assert not result.is_positive
+
+    def test_register_absent_on_compiled_side(self):
+        """A deleted local (Fig. 9): the compiled side never writes
+        P0:r0, so its outcomes complete to r0=0 and the r0=1 source
+        outcome shows up as negative — and vice versa, a compiled-only
+        r0 value is positive."""
+        source = sim("t", [{"x": 1, "P0:r0": 0}, {"x": 1, "P0:r0": 1}])
+        target = sim("t", [{"x": 1}], model="aarch64")
+        result = mcompare(
+            source, target,
+            shared_locations=["x"], condition_observables=["P0:r0"],
+        )
+        assert result.verdict() == "negative"
+        lost = {o.as_dict()["P0:r0"] for o in result.negative}
+        assert lost == {1}
+
+    def test_register_absent_on_source_side_is_positive(self):
+        source = sim("t", [{"x": 1}])
+        target = sim(
+            "t", [{"x": 1, "P0:r0": 1}], model="aarch64"
+        )
+        result = mcompare(
+            source, target,
+            shared_locations=["x"], condition_observables=["P0:r0"],
+        )
+        assert result.verdict() == "positive"
+
+    def test_source_ub_excuses_positives(self):
+        source = sim("t", [{"x": 0}], flags={"undefined-behaviour"})
+        target = sim("t", [{"x": 1}], model="aarch64")
+        result = mcompare(source, target, shared_locations=["x"])
+        assert result.verdict() == "ub-masked"
+        assert not result.is_positive
+
+    def test_explicit_mapping_overrides_domain_args(self):
+        """Passing a mapping wins over shared_locations (which are then
+        ignored) — the documented precedence."""
+        result = mcompare(
+            sim("t", [{"x": 0, "y": 5}]),
+            sim("t", [{"x": 0, "y": 9}], model="aarch64"),
+            mapping=StateMapping(observables=frozenset({"x"})),
+            shared_locations=["x", "y"],
+        )
+        assert result.is_equal

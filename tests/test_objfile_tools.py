@@ -74,7 +74,11 @@ class TestL2c:
     def test_fuzz_variants_weaken_orders(self):
         variants = fuzz_variants(fig10_mp_rmw(), limit=8)
         assert variants
-        assert all(v.name.startswith("fig10_mp_rmw+m") for v in variants)
+        # names derive from the operator + content digest, so repeated
+        # calls (on renamed seeds included) can never collide
+        assert all(v.name.startswith("fig10_mp_rmw+") for v in variants)
+        assert len({v.name for v in variants}) == len(variants)
+        assert len({v.digest() for v in variants}) == len(variants)
 
     def test_fuzz_respects_limit(self):
         assert len(fuzz_variants(fig10_mp_rmw(), limit=2)) == 2
