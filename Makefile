@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench docs-check examples
+.PHONY: test bench docs-check examples profile
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -17,3 +17,7 @@ docs-check:
 
 examples:
 	PYTHONPATH=src $(PYTHON) -m repro.pipeline.cli examples
+
+# where does solver time go? cProfile + per-stage wall-time counters
+profile:
+	$(PYTHON) scripts/profile_solver.py

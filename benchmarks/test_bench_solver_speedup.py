@@ -87,3 +87,133 @@ def test_bench_solver_speedup(benchmark):
     # merge-write: the campaign-engine benchmark shares this report file
     merge_json_report(_REPORT_PATH, record)
     row("report", "BENCH_solver_speedup.json", str(_REPORT_PATH.name))
+
+
+class _PairRelation:
+    """The seed's pair-level relation semantics, kept as the baseline.
+
+    Mirrors what ``Relation`` computed before the bitmask kernels: a
+    frozenset of pairs plus a successor index, pairwise composition, and
+    one-step relaxation to a transitive-closure fixpoint.  Only used to
+    measure what the kernels buy.
+    """
+
+    def __init__(self, pairs):
+        self.pairs = frozenset(pairs)
+        succ = {}
+        for a, b in self.pairs:
+            succ.setdefault(a, set()).add(b)
+        self._succ = succ
+
+    def union(self, other):
+        return _PairRelation(self.pairs | other.pairs)
+
+    def compose(self, other):
+        out = set()
+        for a, b in self.pairs:
+            for c in other._succ.get(b, ()):
+                out.add((a, c))
+        return _PairRelation(out)
+
+    def transitive_closure(self):
+        result = self
+        while True:
+            bigger = result.union(result.compose(self))
+            if bigger.pairs == result.pairs:
+                return result
+            result = bigger
+
+
+def _random_pairs(rng, n_events, n_pairs):
+    pairs = set()
+    while len(pairs) < n_pairs:
+        pairs.add((rng.randrange(n_events), rng.randrange(n_events)))
+    return sorted(pairs)
+
+
+def test_bench_relation_kernels():
+    """Microbench: bitmask kernels vs pair-level reference semantics.
+
+    Transitive closure plus a ``let rec``-style fixpoint on random
+    ~256-event relations — the shapes that dominate per-candidate model
+    evaluation.  The kernel path must be at least 3x faster; both paths
+    must agree exactly.
+    """
+    import random
+
+    from repro.core.relations import Relation
+
+    rng = random.Random(20240807)
+    n_events = 256
+    cases = [_random_pairs(rng, n_events, 2048) for _ in range(3)]
+
+    banner("Relation kernels: bitmask rows vs pair-level baseline")
+
+    # -- transitive closure ------------------------------------------- #
+    start = time.perf_counter()
+    ref_closures = [_PairRelation(pairs).transitive_closure() for pairs in cases]
+    ref_closure_s = time.perf_counter() - start
+
+    kernel_reps = 10
+    start = time.perf_counter()
+    for _ in range(kernel_reps):
+        kernel_closures = [Relation(pairs).transitive_closure() for pairs in cases]
+    kernel_closure_s = (time.perf_counter() - start) / kernel_reps
+
+    for ref, kernel in zip(ref_closures, kernel_closures):
+        assert kernel.pairs == ref.pairs
+
+    # -- let-rec style fixpoint: hb = base | (hb ; base) --------------- #
+    def ref_fixpoint(pairs):
+        base = _PairRelation(pairs)
+        current = _PairRelation(())
+        while True:
+            nxt = base.union(current.compose(base))
+            if nxt.pairs == current.pairs:
+                return current
+            current = nxt
+
+    def kernel_fixpoint(pairs):
+        base = Relation(pairs)
+        current = Relation.empty()
+        while True:
+            nxt = base.union(current.compose(base))
+            if nxt == current:
+                return current
+            current = nxt
+
+    start = time.perf_counter()
+    ref_fix = [ref_fixpoint(pairs) for pairs in cases]
+    ref_fix_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(kernel_reps):
+        kernel_fix = [kernel_fixpoint(pairs) for pairs in cases]
+    kernel_fix_s = (time.perf_counter() - start) / kernel_reps
+
+    for ref, kernel in zip(ref_fix, kernel_fix):
+        assert kernel.pairs == ref.pairs
+
+    closure_speedup = ref_closure_s / kernel_closure_s
+    fixpoint_speedup = ref_fix_s / kernel_fix_s
+    row("transitive_closure (256 events)", ">=3x",
+        f"{closure_speedup:.1f}x ({ref_closure_s*1000:.0f} -> "
+        f"{kernel_closure_s*1000:.1f} ms)")
+    row("let-rec fixpoint (256 events)", ">=3x",
+        f"{fixpoint_speedup:.1f}x ({ref_fix_s*1000:.0f} -> "
+        f"{kernel_fix_s*1000:.1f} ms)")
+    assert closure_speedup >= 3.0
+    assert fixpoint_speedup >= 3.0
+
+    merge_json_report(_REPORT_PATH, {
+        "relation_kernels": {
+            "events": n_events,
+            "cases": len(cases),
+            "closure_reference_seconds": ref_closure_s,
+            "closure_kernel_seconds": kernel_closure_s,
+            "closure_speedup": closure_speedup,
+            "fixpoint_reference_seconds": ref_fix_s,
+            "fixpoint_kernel_seconds": kernel_fix_s,
+            "fixpoint_speedup": fixpoint_speedup,
+        },
+    })

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Profile the staged solver on a paper test and print where time goes.
+
+Runs one simulation under ``cProfile`` plus the enumerator's own
+per-stage wall-time counters (``EnumerationStats.stage_seconds``), so a
+perf regression can be localised in seconds: is it a pruning stage, the
+cat-model kernels, or the enumeration scaffolding?
+
+Usage::
+
+    python scripts/profile_solver.py [test] [model] [--top N]
+
+``test`` is a repro.papertests factory name (default ``fig11_lb3``),
+``model`` a cat model name (default ``rc11``).  ``make profile`` runs
+the default configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import os
+import pstats
+import sys
+import time
+
+#: the in-tree package wins, as it does for the test suite
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("test", nargs="?", default="fig11_lb3",
+                        help="repro.papertests factory name")
+    parser.add_argument("model", nargs="?", default="rc11",
+                        help="cat model name")
+    parser.add_argument("--top", type=int, default=20,
+                        help="rows of the cProfile table to print")
+    args = parser.parse_args()
+
+    from repro import papertests
+    from repro.herd import simulate_c
+
+    try:
+        factory = getattr(papertests, args.test)
+    except AttributeError:
+        names = sorted(
+            n for n in dir(papertests)
+            if n.startswith("fig") and callable(getattr(papertests, n))
+        )
+        print(f"unknown test {args.test!r}; available: {', '.join(names)}",
+              file=sys.stderr)
+        return 1
+    litmus = factory()
+
+    # warm-up run outside the profile: model parsing/compilation caches
+    simulate_c(litmus, args.model)
+
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    result = simulate_c(litmus, args.model)
+    profiler.disable()
+    wall = time.perf_counter() - start
+
+    stats = result.stats
+    print(f"== {args.test} under {args.model}: "
+          f"{len(result.outcomes)} outcomes, "
+          f"{stats.candidates} candidates, {wall*1000:.1f} ms ==")
+    print("\n-- per-stage wall time (EnumerationStats.stage_seconds) --")
+    total_staged = sum(stats.stage_seconds.values())
+    for name, seconds in sorted(
+        stats.stage_seconds.items(), key=lambda kv: -kv[1]
+    ):
+        share = 100.0 * seconds / total_staged if total_staged else 0.0
+        print(f"  {name:<20} {seconds*1000:9.2f} ms  {share:5.1f}%")
+    print(f"  {'(stages total)':<20} {total_staged*1000:9.2f} ms")
+
+    print(f"\n-- cProfile, top {args.top} by cumulative time --")
+    table = pstats.Stats(profiler, stream=sys.stdout)
+    table.strip_dirs().sort_stats("cumulative").print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

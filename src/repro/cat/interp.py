@@ -12,21 +12,42 @@ Values are either :class:`~repro.core.relations.Relation` or event sets
 (``frozenset[int]``); sets are coerced to identity relations where a
 relation is required, exactly as in herd's cat.
 
-For the staged solver, :meth:`Model.compile` splits a model into a
-*static prefix* — statements whose free names are derivable from the
-event structure and po/rmw/dependency relations alone — and a *dynamic
-suffix* of rf/co-dependent statements.  The prefix is evaluated once per
-path combination (see :class:`CompiledModel`); only the suffix runs per
-candidate execution.
+Compilation to relation kernels
+-------------------------------
+
+Statements are not re-interpreted per candidate.  Each statement compiles
+**once per model** into a closure over row-level kernel ops of
+:class:`~repro.core.relations.Relation` (the AST is walked at compile
+time; only bitmask arithmetic runs at evaluation time).  For the staged
+solver, :meth:`Model.compile` additionally splits a model into a *static
+prefix* — statements whose free names are derivable from the event
+structure and po/rmw/dependency relations alone — and a *dynamic suffix*
+of rf/co-dependent statements.  The prefix's fused op sequence runs once
+per path combination (see :class:`CompiledModel`); only the suffix's ops
+run per candidate execution.
+
+Identity invariants the compiled kernels rely on:
+
+* every relation bound in one environment is encoded over the same event
+  universe (bit position = event id; the solver interns ids densely via
+  :class:`~repro.core.relations.EventUniverse`), so binary kernel ops
+  combine rows directly;
+* ``env.universe`` is a *stable* frozenset per path combination — the
+  identity and full relations that ``^*`` / ``?`` / ``~`` need are
+  memoised on it (:func:`~repro.core.relations.identity_over` /
+  :func:`~repro.core.relations.full_over`) instead of being rebuilt per
+  call;
+* compiled ops are pure: they read the environment and append to the
+  check/flag accumulators, never mutating a bound relation in place.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from ..core.errors import ModelError
-from ..core.relations import Relation
+from ..core.relations import EventUniverse, Relation, full_over
 from .ast import (
     Binary,
     Bracket,
@@ -71,12 +92,15 @@ class CatEnv:
 
     ``bindings`` maps names to values; ``universe`` is the full event-id
     set (needed by ``^*``, ``?`` and ``~``); ``po`` is kept separately for
-    the ``fencerel`` builtin.
+    the ``fencerel`` builtin.  ``interned`` optionally carries the
+    :class:`~repro.core.relations.EventUniverse` the bindings are encoded
+    against (the solver provides it; hand-built environments may not).
     """
 
     bindings: Dict[str, Value]
     universe: FrozenSet[int]
     po: Relation
+    interned: Optional[EventUniverse] = None
 
     def lookup(self, name: str) -> Value:
         if name in self.bindings:
@@ -84,7 +108,7 @@ class CatEnv:
         raise ModelError(f"unbound name {name!r} in cat model")
 
     def child(self) -> "CatEnv":
-        return CatEnv(dict(self.bindings), self.universe, self.po)
+        return CatEnv(dict(self.bindings), self.universe, self.po, self.interned)
 
 
 @dataclass(frozen=True)
@@ -139,6 +163,213 @@ def _free_names(expr: CatExpr) -> FrozenSet[str]:
     return frozenset()  # pragma: no cover - defensive
 
 
+# --------------------------------------------------------------------- #
+# expression/statement compilation: AST -> kernel-op closures
+# --------------------------------------------------------------------- #
+ExprKernel = Callable[[CatEnv], Value]
+StmtKernel = Callable[[CatEnv, List[CheckResult], List[str]], None]
+
+_EMPTY_REL = Relation.empty()
+
+
+def _compile_expr(expr: CatExpr) -> ExprKernel:
+    """Walk the AST once; return a closure of fused relation-kernel ops.
+
+    All dispatch (node type, operator, builtin name) is resolved here, at
+    compile time; evaluating the returned closure performs only kernel
+    arithmetic plus the set-vs-relation coercions the Cat semantics need.
+    Unknown names and builtins still fail at *evaluation* time with the
+    same :class:`ModelError` the interpreter raised, so error behaviour
+    is unchanged.
+    """
+    if isinstance(expr, Name):
+        ident = expr.ident
+        def k_name(env: CatEnv) -> Value:
+            bindings = env.bindings
+            if ident in bindings:
+                return bindings[ident]
+            raise ModelError(f"unbound name {ident!r} in cat model")
+        return k_name
+    if isinstance(expr, EmptySet):
+        return lambda env: _EMPTY_REL
+    if isinstance(expr, Universe):
+        return lambda env: env.universe
+    if isinstance(expr, Bracket):
+        inner = _compile_expr(expr.inner)
+        return lambda env: Relation.identity(_as_set(inner(env)))
+    if isinstance(expr, Binary):
+        return _compile_binary(expr)
+    if isinstance(expr, Postfix):
+        return _compile_postfix(expr)
+    if isinstance(expr, Complement):
+        inner = _compile_expr(expr.inner)
+        def k_complement(env: CatEnv) -> Value:
+            value = inner(env)
+            if isinstance(value, frozenset):
+                return env.universe - value
+            return full_over(env.universe) - value
+        return k_complement
+    if isinstance(expr, Call):
+        return _compile_call(expr)
+    raise ModelError(f"cannot compile {expr!r}")  # pragma: no cover
+
+
+def _compile_binary(expr: Binary) -> ExprKernel:
+    left = _compile_expr(expr.left)
+    right = _compile_expr(expr.right)
+    op = expr.op
+    if op == "*":
+        return lambda env: Relation.cartesian(_as_set(left(env)), _as_set(right(env)))
+    if op == ";":
+        def k_seq(env: CatEnv) -> Value:
+            uni = env.universe
+            return _as_relation(left(env), uni).compose(_as_relation(right(env), uni))
+        return k_seq
+    if op not in ("|", "&", "\\"):  # pragma: no cover - parser guarantees
+        raise ModelError(f"unknown binary operator {op!r}")
+
+    def k_setop(env: CatEnv) -> Value:
+        lv = left(env)
+        rv = right(env)
+        # set-theoretic ops: keep sets as sets when both sides are sets
+        if isinstance(lv, frozenset) and isinstance(rv, frozenset):
+            if op == "|":
+                return lv | rv
+            if op == "&":
+                return lv & rv
+            return lv - rv
+        uni = env.universe
+        lrel = _as_relation(lv, uni)
+        rrel = _as_relation(rv, uni)
+        if op == "|":
+            return lrel | rrel
+        if op == "&":
+            return lrel & rrel
+        return lrel - rrel
+
+    return k_setop
+
+
+def _compile_postfix(expr: Postfix) -> ExprKernel:
+    inner = _compile_expr(expr.inner)
+    op = expr.op
+    if op == "^+":
+        return lambda env: _as_relation(inner(env), env.universe).transitive_closure()
+    if op == "^*":
+        return lambda env: _as_relation(
+            inner(env), env.universe
+        ).reflexive_transitive_closure(env.universe)
+    if op == "^-1":
+        return lambda env: _as_relation(inner(env), env.universe).inverse()
+    if op == "?":
+        return lambda env: _as_relation(inner(env), env.universe).optional(env.universe)
+    raise ModelError(f"unknown postfix operator {op!r}")  # pragma: no cover
+
+
+def _compile_call(expr: Call) -> ExprKernel:
+    args = [_compile_expr(a) for a in expr.args]
+    func = expr.func
+    if func == "domain":
+        def k_domain(env: CatEnv) -> Value:
+            (rel,) = [a(env) for a in args]
+            return _as_relation(rel, env.universe).domain()
+        return k_domain
+    if func == "range":
+        def k_range(env: CatEnv) -> Value:
+            (rel,) = [a(env) for a in args]
+            return _as_relation(rel, env.universe).codomain()
+        return k_range
+    if func == "toid":
+        def k_toid(env: CatEnv) -> Value:
+            (s,) = [a(env) for a in args]
+            return Relation.identity(_as_set(s))
+        return k_toid
+    if func == "fencerel":
+        def k_fencerel(env: CatEnv) -> Value:
+            (s,) = [a(env) for a in args]
+            ident = Relation.identity(_as_set(s))
+            return env.po.compose(ident).compose(env.po)
+        return k_fencerel
+
+    def k_unknown(env: CatEnv) -> Value:
+        raise ModelError(f"unknown builtin {func!r}")
+
+    return k_unknown
+
+
+def _compile_let(stmt: Let) -> StmtKernel:
+    compiled = [(name, _compile_expr(expr)) for name, expr in stmt.bindings]
+    if not stmt.recursive:
+        def k_let(env: CatEnv, checks: List[CheckResult], flags: List[str]) -> None:
+            bindings = env.bindings
+            for name, fn in compiled:
+                bindings[name] = fn(env)
+        return k_let
+
+    names = [name for name, _ in compiled]
+
+    def k_let_rec(env: CatEnv, checks: List[CheckResult], flags: List[str]) -> None:
+        """Fixed-point semantics for ``let rec``: start from empty, iterate."""
+        bindings = env.bindings
+        for name in names:
+            bindings[name] = _EMPTY_REL
+        changed = True
+        iterations = 0
+        while changed:
+            iterations += 1
+            if iterations > 1000:
+                raise ModelError("let rec did not converge after 1000 iterations")
+            changed = False
+            for name, fn in compiled:
+                new = fn(env)
+                if new != bindings[name]:
+                    bindings[name] = new
+                    changed = True
+
+    return k_let_rec
+
+
+def _compile_check(stmt: Check) -> StmtKernel:
+    fn = _compile_expr(stmt.expr)
+    name, kind, negated, flag = stmt.name, stmt.kind, stmt.negated, stmt.flag
+    if kind == "acyclic":
+        def test(value: Value, env: CatEnv) -> bool:
+            return _as_relation(value, env.universe).is_acyclic()
+    elif kind == "irreflexive":
+        def test(value: Value, env: CatEnv) -> bool:
+            return _as_relation(value, env.universe).is_irreflexive()
+    elif kind == "empty":
+        def test(value: Value, env: CatEnv) -> bool:
+            return value.is_empty() if isinstance(value, Relation) else not value
+    else:  # pragma: no cover - parser guarantees
+        raise ModelError(f"unknown check kind {kind!r}")
+
+    def k_check(env: CatEnv, checks: List[CheckResult], flags: List[str]) -> None:
+        holds = test(fn(env), env)
+        if negated:
+            holds = not holds
+        checks.append(CheckResult(name, kind, holds, flag))
+        # A `flag` check marks the execution when its condition HOLDS
+        # (herd: `flag ~empty race as ub` fires when race is non-empty);
+        # it never forbids the execution.
+        if flag and holds:
+            flags.append(name)
+
+    return k_check
+
+
+def _compile_stmt(stmt: CatStmt) -> Optional[StmtKernel]:
+    if isinstance(stmt, Let):
+        return _compile_let(stmt)
+    if isinstance(stmt, Check):
+        return _compile_check(stmt)
+    if isinstance(stmt, (Show, Include)):
+        # `show` is presentation-only; `include` is resolved by the
+        # registry before parsing, so a leftover include is a no-op.
+        return None
+    raise ModelError(f"unknown statement {stmt!r}")  # pragma: no cover - defensive
+
+
 class Model:
     """A parsed Cat model ready for evaluation."""
 
@@ -146,6 +377,10 @@ class Model:
         self.ast = ast
         self.name = name or ast.name or "anonymous"
         self._compiled: Optional["CompiledModel"] = None
+        #: per-statement kernel cache, keyed by statement identity, shared
+        #: between :meth:`evaluate` and :class:`CompiledModel`
+        self._stmt_kernels: Dict[int, Optional[StmtKernel]] = {}
+        self._ops: Optional[List[StmtKernel]] = None
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -159,160 +394,30 @@ class Model:
             self._compiled = CompiledModel(self)
         return self._compiled
 
+    def ops_for(self, statements: List[CatStmt]) -> List[StmtKernel]:
+        """Compile ``statements`` (cached per statement) to kernel ops."""
+        ops: List[StmtKernel] = []
+        for stmt in statements:
+            key = id(stmt)
+            if key not in self._stmt_kernels:
+                self._stmt_kernels[key] = _compile_stmt(stmt)
+            op = self._stmt_kernels[key]
+            if op is not None:
+                ops.append(op)
+        return ops
+
     # ------------------------------------------------------------------ #
     def evaluate(self, env: CatEnv) -> ModelResult:
-        """Run every statement; collect check outcomes."""
+        """Run every statement's compiled kernel; collect check outcomes."""
+        if self._ops is None:
+            self._ops = self.ops_for(self.ast.statements)
         env = env.child()
         checks: List[CheckResult] = []
         flags: List[str] = []
-        for stmt in self.ast.statements:
-            self._exec_stmt(stmt, env, checks, flags)
+        for op in self._ops:
+            op(env, checks, flags)
         allowed = all(c.passed for c in checks if not c.flag)
         return ModelResult(allowed=allowed, checks=tuple(checks), flags=tuple(flags))
-
-    # ------------------------------------------------------------------ #
-    def _exec_stmt(
-        self,
-        stmt: CatStmt,
-        env: CatEnv,
-        checks: List[CheckResult],
-        flags: List[str],
-    ) -> None:
-        if isinstance(stmt, Let):
-            if stmt.recursive:
-                self._eval_let_rec(stmt, env)
-            else:
-                for name, expr in stmt.bindings:
-                    env.bindings[name] = self._eval(expr, env)
-        elif isinstance(stmt, Check):
-            holds = self._run_check(stmt, env)
-            checks.append(CheckResult(stmt.name, stmt.kind, holds, stmt.flag))
-            # A `flag` check marks the execution when its condition HOLDS
-            # (herd: `flag ~empty race as ub` fires when race is non-empty);
-            # it never forbids the execution.
-            if stmt.flag and holds:
-                flags.append(stmt.name)
-        elif isinstance(stmt, (Show, Include)):
-            # `show` is presentation-only; `include` is resolved by the
-            # registry before parsing, so a leftover include is a no-op.
-            return
-        else:  # pragma: no cover - defensive
-            raise ModelError(f"unknown statement {stmt!r}")
-
-    def _run_check(self, stmt: Check, env: CatEnv) -> bool:
-        value = self._eval(stmt.expr, env)
-        rel = _as_relation(value, env.universe)
-        if stmt.kind == "acyclic":
-            result = rel.is_acyclic()
-        elif stmt.kind == "irreflexive":
-            result = rel.is_irreflexive()
-        elif stmt.kind == "empty":
-            result = rel.is_empty() if isinstance(value, Relation) else not value
-        else:  # pragma: no cover - parser guarantees
-            raise ModelError(f"unknown check kind {stmt.kind!r}")
-        if stmt.negated:
-            result = not result
-        return result
-
-    def _eval_let_rec(self, stmt: Let, env: CatEnv) -> None:
-        """Fixed-point semantics for ``let rec``: start from empty, iterate."""
-        names = [name for name, _ in stmt.bindings]
-        for name in names:
-            env.bindings[name] = Relation.empty()
-        changed = True
-        iterations = 0
-        while changed:
-            iterations += 1
-            if iterations > 1000:
-                raise ModelError("let rec did not converge after 1000 iterations")
-            changed = False
-            for name, expr in stmt.bindings:
-                new = self._eval(expr, env)
-                if new != env.bindings[name]:
-                    env.bindings[name] = new
-                    changed = True
-
-    # ------------------------------------------------------------------ #
-    def _eval(self, expr: CatExpr, env: CatEnv) -> Value:
-        if isinstance(expr, Name):
-            return env.lookup(expr.ident)
-        if isinstance(expr, EmptySet):
-            return Relation.empty()
-        if isinstance(expr, Universe):
-            return env.universe
-        if isinstance(expr, Bracket):
-            inner = self._eval(expr.inner, env)
-            return Relation.identity(_as_set(inner))
-        if isinstance(expr, Binary):
-            return self._eval_binary(expr, env)
-        if isinstance(expr, Postfix):
-            return self._eval_postfix(expr, env)
-        if isinstance(expr, Complement):
-            inner = self._eval(expr.inner, env)
-            if isinstance(inner, frozenset):
-                return env.universe - inner
-            full = Relation.cartesian(env.universe, env.universe)
-            return full - inner
-        if isinstance(expr, Call):
-            return self._eval_call(expr, env)
-        raise ModelError(f"cannot evaluate {expr!r}")  # pragma: no cover
-
-    def _eval_binary(self, expr: Binary, env: CatEnv) -> Value:
-        left = self._eval(expr.left, env)
-        right = self._eval(expr.right, env)
-        if expr.op == "*":
-            return Relation.cartesian(_as_set(left), _as_set(right))
-        if expr.op == ";":
-            lrel = _as_relation(left, env.universe)
-            rrel = _as_relation(right, env.universe)
-            return lrel.compose(rrel)
-        # set-theoretic ops: keep sets as sets when both sides are sets
-        if isinstance(left, frozenset) and isinstance(right, frozenset):
-            if expr.op == "|":
-                return left | right
-            if expr.op == "&":
-                return left & right
-            if expr.op == "\\":
-                return left - right
-        lrel = _as_relation(left, env.universe)
-        rrel = _as_relation(right, env.universe)
-        if expr.op == "|":
-            return lrel | rrel
-        if expr.op == "&":
-            return lrel & rrel
-        if expr.op == "\\":
-            return lrel - rrel
-        raise ModelError(f"unknown binary operator {expr.op!r}")  # pragma: no cover
-
-    def _eval_postfix(self, expr: Postfix, env: CatEnv) -> Value:
-        inner = self._eval(expr.inner, env)
-        rel = _as_relation(inner, env.universe)
-        if expr.op == "^+":
-            return rel.transitive_closure()
-        if expr.op == "^*":
-            return rel.reflexive_transitive_closure(env.universe)
-        if expr.op == "^-1":
-            return rel.inverse()
-        if expr.op == "?":
-            return rel.optional(env.universe)
-        raise ModelError(f"unknown postfix operator {expr.op!r}")  # pragma: no cover
-
-    def _eval_call(self, expr: Call, env: CatEnv) -> Value:
-        args = [self._eval(a, env) for a in expr.args]
-        if expr.func == "domain":
-            (rel,) = args
-            return _as_relation(rel, env.universe).domain()
-        if expr.func == "range":
-            (rel,) = args
-            return _as_relation(rel, env.universe).codomain()
-        if expr.func == "toid":
-            (s,) = args
-            return Relation.identity(_as_set(s))
-        if expr.func == "fencerel":
-            (s,) = args
-            ident = Relation.identity(_as_set(s))
-            return env.po.compose(ident).compose(env.po)
-        raise ModelError(f"unknown builtin {expr.func!r}")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Model({self.name!r})"
@@ -341,7 +446,7 @@ class StaticPrefix:
 
 
 class CompiledModel:
-    """A model split into a static prefix and a dynamic suffix.
+    """A model split into a static prefix and a dynamic suffix of kernels.
 
     Classification walks the statements in order, tracking which names
     are *dynamic* (seeded with :data:`DYNAMIC_BASE_NAMES`): a ``let``
@@ -349,6 +454,10 @@ class CompiledModel:
     checks over dynamic names go to the suffix.  Rebinding an existing
     name after a dynamic statement has been emitted is conservatively
     treated as dynamic, preserving statement order for shadowing models.
+
+    Both halves are compiled once — at construction — into fused lists
+    of row-level kernel ops (:data:`StmtKernel`); per-candidate work in
+    :meth:`run_dynamic` is a dict copy plus bitmask arithmetic.
     """
 
     def __init__(self, model: Model) -> None:
@@ -391,6 +500,8 @@ class CompiledModel:
                     self.static_statements.append(stmt)
             else:  # Show / Include: presentation-only
                 self.static_statements.append(stmt)
+        self._static_ops: List[StmtKernel] = model.ops_for(self.static_statements)
+        self._dynamic_ops: List[StmtKernel] = model.ops_for(self.dynamic_statements)
 
     # ------------------------------------------------------------------ #
     def run_static(self, env: CatEnv) -> StaticPrefix:
@@ -398,8 +509,8 @@ class CompiledModel:
         env = env.child()
         checks: List[CheckResult] = []
         flags: List[str] = []
-        for stmt in self.static_statements:
-            self.model._exec_stmt(stmt, env, checks, flags)
+        for op in self._static_ops:
+            op(env, checks, flags)
         return StaticPrefix(env=env, checks=tuple(checks), flags=tuple(flags))
 
     def run_dynamic(
@@ -411,14 +522,13 @@ class CompiledModel:
         :data:`DYNAMIC_BASE_NAMES`); static check results are merged into
         the returned :class:`ModelResult`.
         """
-        env = CatEnv(
-            dict(prefix.env.bindings), prefix.env.universe, prefix.env.po
-        )
+        base = prefix.env
+        env = CatEnv(dict(base.bindings), base.universe, base.po, base.interned)
         env.bindings.update(bindings)
         checks: List[CheckResult] = list(prefix.checks)
         flags: List[str] = list(prefix.flags)
-        for stmt in self.dynamic_statements:
-            self.model._exec_stmt(stmt, env, checks, flags)
+        for op in self._dynamic_ops:
+            op(env, checks, flags)
         allowed = all(c.passed for c in checks if not c.flag)
         return ModelResult(allowed=allowed, checks=tuple(checks), flags=tuple(flags))
 

@@ -10,10 +10,15 @@ The environment is built in two stages, mirroring the staged solver:
 
 * :func:`build_static_env` derives everything that depends only on the
   event structure and the po/rmw/dependency relations — fixed for a
-  whole path combination, so it is computed **once** per combination;
+  whole path combination, so it is computed **once** per combination.
+  The events are interned into an
+  :class:`~repro.core.relations.EventUniverse` and the structural
+  relations (``loc``, ``int``, ``ext``, ``init``) are assembled directly
+  as bitmask adjacency rows — one shared location/thread mask per group
+  instead of O(n²) pair loops;
 * :func:`dynamic_bindings` adds the rf/co-derived relations that change
   per candidate (``rf``, ``co``, ``fr``, ``com`` and the internal/
-  external splits).
+  external splits) — row-wise kernel ops against the same universe.
 
 :func:`build_env` composes both for callers that hold one finished
 execution.
@@ -30,7 +35,7 @@ from typing import Dict, FrozenSet, Optional, Sequence
 
 from ..core.events import Event, MemoryOrder
 from ..core.execution import Execution
-from ..core.relations import Relation
+from ..core.relations import EventUniverse, Relation
 from .interp import CatEnv, Value
 
 #: Architecture tag names every environment defines (empty if unused).
@@ -82,13 +87,16 @@ class StaticEnv:
 
     ``env`` holds every binding derivable before rf/co are chosen;
     ``internal``/``external`` are kept so the dynamic stage can derive
-    ``rfe``/``rfi``/``coe``… by intersection instead of recomputing the
-    O(n²) thread-split relations per candidate.
+    ``rfe``/``rfi``/``coe``… by row-wise intersection instead of
+    recomputing the O(n²) thread-split relations per candidate;
+    ``universe`` is the interned event universe all of them are encoded
+    against.
     """
 
     env: CatEnv
     internal: Relation
     external: Relation
+    universe: Optional[EventUniverse] = None
 
 
 def build_static_env(
@@ -100,7 +108,8 @@ def build_static_env(
     ctrl: Relation = Relation.empty(),
 ) -> StaticEnv:
     """Construct the rf/co-independent bindings for one event structure."""
-    universe = frozenset(e.eid for e in events)
+    uni = EventUniverse(e.eid for e in events)
+    universe = uni.ids()
     reads = frozenset(e.eid for e in events if e.is_read)
     writes = frozenset(e.eid for e in events if e.is_write)
     fences = frozenset(e.eid for e in events if e.is_fence)
@@ -112,28 +121,38 @@ def build_static_env(
         return frozenset(e.eid for e in events if e.order in wanted)
 
     # same-location, internal and external splits (static: they depend
-    # only on event structure, not on rf/co)
-    by_loc: Dict[str, list] = {}
+    # only on event structure, not on rf/co) — assembled as adjacency
+    # rows from one shared mask per location/thread group
+    loc_masks: Dict[str, int] = {}
     for e in events:
         if e.is_access and e.loc is not None:
-            by_loc.setdefault(e.loc, []).append(e.eid)
-    loc_pairs = [
-        (a, b) for ids in by_loc.values() for a in ids for b in ids if a != b
-    ]
-    int_pairs = []
-    ext_pairs = []
-    for a in events:
-        for b in events:
-            if a.eid == b.eid:
-                continue
-            if a.tid == b.tid:
-                if not a.is_init:
-                    int_pairs.append((a.eid, b.eid))
-            else:
-                ext_pairs.append((a.eid, b.eid))
-    loc = Relation(loc_pairs)
-    internal = Relation(int_pairs)
-    external = Relation(ext_pairs)
+            loc_masks[e.loc] = loc_masks.get(e.loc, 0) | (1 << e.eid)
+    loc_rows: Dict[int, int] = {}
+    for e in events:
+        if e.is_access and e.loc is not None:
+            row = loc_masks[e.loc] & ~(1 << e.eid)
+            if row:
+                loc_rows[e.eid] = row
+
+    tid_masks: Dict[int, int] = {}
+    all_mask = 0
+    for e in events:
+        tid_masks[e.tid] = tid_masks.get(e.tid, 0) | (1 << e.eid)
+        all_mask |= 1 << e.eid
+    int_rows: Dict[int, int] = {}
+    ext_rows: Dict[int, int] = {}
+    for e in events:
+        own = tid_masks[e.tid]
+        if not e.is_init:
+            row = own & ~(1 << e.eid)
+            if row:
+                int_rows[e.eid] = row
+        outside = all_mask & ~own
+        if outside:
+            ext_rows[e.eid] = outside
+    loc = Relation.from_rows(loc_rows)
+    internal = Relation.from_rows(int_rows)
+    external = Relation.from_rows(ext_rows)
 
     bindings: Dict[str, Value] = {
         # base sets --------------------------------------------------- #
@@ -143,7 +162,7 @@ def build_static_env(
         "F": fences,
         "B": frozenset(e.eid for e in events if e.is_branch),
         "IW": init_writes,
-        "id": Relation.identity(universe),
+        "id": uni.identity(),
         # C11 order sets ----------------------------------------------- #
         # ACQ: acquire or stronger; REL: release or stronger; etc.
         "ACQ": order_set(MemoryOrder.ACQ, MemoryOrder.ACQ_REL, MemoryOrder.SC),
@@ -180,8 +199,8 @@ def build_static_env(
             tags_present.setdefault(tag, set()).add(e.eid)
     for tag in KNOWN_TAG_SETS:
         bindings[tag] = frozenset(tags_present.get(tag, ()))
-    env = CatEnv(bindings=bindings, universe=universe, po=po)
-    return StaticEnv(env=env, internal=internal, external=external)
+    env = CatEnv(bindings=bindings, universe=universe, po=po, interned=uni)
+    return StaticEnv(env=env, internal=internal, external=external, universe=uni)
 
 
 def dynamic_bindings(

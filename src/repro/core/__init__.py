@@ -16,7 +16,7 @@ from .litmus import (
     conj,
 )
 from .registry import Registry, RegistryError
-from .relations import Relation, RelationBuilder
+from .relations import EventUniverse, Relation, RelationBuilder
 from .errors import (
     CompilationError,
     ConstViolation,
@@ -55,6 +55,7 @@ __all__ = [
     "conj",
     "Registry",
     "RegistryError",
+    "EventUniverse",
     "Relation",
     "RelationBuilder",
     "CompilationError",

@@ -137,17 +137,17 @@ class Execution:
     # ------------------------------------------------------------------ #
     def same_location(self) -> Relation:
         """``loc`` — all pairs of accesses to the same location."""
-        by_loc: Dict[str, List[int]] = {}
+        loc_masks: Dict[str, int] = {}
         for e in self.events:
             if e.is_access and e.loc is not None:
-                by_loc.setdefault(e.loc, []).append(e.eid)
-        pairs = []
-        for ids in by_loc.values():
-            for a in ids:
-                for b in ids:
-                    if a != b:
-                        pairs.append((a, b))
-        return Relation(pairs)
+                loc_masks[e.loc] = loc_masks.get(e.loc, 0) | (1 << e.eid)
+        rows: Dict[int, int] = {}
+        for e in self.events:
+            if e.is_access and e.loc is not None:
+                row = loc_masks[e.loc] & ~(1 << e.eid)
+                if row:
+                    rows[e.eid] = row
+        return Relation.from_rows(rows)
 
     def po_loc(self) -> Relation:
         loc = self.same_location()
@@ -155,21 +155,31 @@ class Execution:
 
     def internal(self) -> Relation:
         """``int`` — same-thread pairs (over all events)."""
-        pairs = []
-        for a in self.events:
-            for b in self.events:
-                if a.eid != b.eid and a.tid == b.tid and not a.is_init:
-                    pairs.append((a.eid, b.eid))
-        return Relation(pairs)
+        tid_masks: Dict[int, int] = {}
+        for e in self.events:
+            tid_masks[e.tid] = tid_masks.get(e.tid, 0) | (1 << e.eid)
+        rows: Dict[int, int] = {}
+        for e in self.events:
+            if e.is_init:
+                continue
+            row = tid_masks[e.tid] & ~(1 << e.eid)
+            if row:
+                rows[e.eid] = row
+        return Relation.from_rows(rows)
 
     def external(self) -> Relation:
         """``ext`` — different-thread pairs (init counts as external)."""
-        pairs = []
-        for a in self.events:
-            for b in self.events:
-                if a.eid != b.eid and a.tid != b.tid:
-                    pairs.append((a.eid, b.eid))
-        return Relation(pairs)
+        tid_masks: Dict[int, int] = {}
+        all_mask = 0
+        for e in self.events:
+            tid_masks[e.tid] = tid_masks.get(e.tid, 0) | (1 << e.eid)
+            all_mask |= 1 << e.eid
+        rows: Dict[int, int] = {}
+        for e in self.events:
+            row = all_mask & ~tid_masks[e.tid]
+            if row:
+                rows[e.eid] = row
+        return Relation.from_rows(rows)
 
     def rfe(self) -> Relation:
         return self.rf & self.external()
@@ -199,16 +209,17 @@ class Execution:
     def final_memory(self) -> Dict[str, int]:
         """Final value per location: the co-maximal write."""
         final: Dict[str, int] = {}
-        co_pairs = self.co.pairs
+        co = self.co
         by_loc: Dict[str, List[Event]] = {}
+        loc_masks: Dict[str, int] = {}
         for e in self.events:
             if e.is_write and e.loc is not None:
                 by_loc.setdefault(e.loc, []).append(e)
+                loc_masks[e.loc] = loc_masks.get(e.loc, 0) | (1 << e.eid)
         for loc, writes in by_loc.items():
+            mask = loc_masks[loc]
             maximal = [
-                w
-                for w in writes
-                if not any((w.eid, other.eid) in co_pairs for other in writes)
+                w for w in writes if not (co.successor_mask(w.eid) & mask)
             ]
             if len(maximal) != 1:
                 raise ValueError(

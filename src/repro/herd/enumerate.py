@@ -54,7 +54,7 @@ from ..core.errors import SimulationTimeout
 from ..core.events import INIT_TID, Event, EventKind, MemoryOrder
 from ..core.execution import Execution
 from ..core.expr import Expr
-from ..core.relations import Pair, Relation, RelationBuilder
+from ..core.relations import EventUniverse, Pair, Relation, RelationBuilder
 from .templates import EventTemplate, PathConstraint, ThreadPath, ThreadProgram, rename_reads
 
 
@@ -102,7 +102,11 @@ class EnumerationStats:
 
     The ``rejected_*``/``pruned_*`` fields are per-stage prune counters:
     how much of the candidate space each stage of the solver discarded
-    before a full candidate was materialised.
+    before a full candidate was materialised.  ``stage_seconds``
+    attributes wall-clock to each prune stage by name (its
+    ``filter_rf_sources`` / ``reject_assignment`` / ``co_precedence``
+    hooks combined), so kernel-level speedups are visible per stage, not
+    just in the total.
     """
 
     path_combinations: int = 0
@@ -118,6 +122,8 @@ class EnumerationStats:
     #: coherence-order prefixes abandoned before their factorial tail
     pruned_co_prefixes: int = 0
     elapsed_seconds: float = 0.0
+    #: wall-clock spent inside each prune stage's hooks, by stage name
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_pruned(self) -> int:
@@ -129,7 +135,10 @@ class EnumerationStats:
             + self.pruned_co_prefixes
         )
 
-    def as_dict(self) -> Dict[str, float]:
+    def add_stage_time(self, name: str, seconds: float) -> None:
+        self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + seconds
+
+    def as_dict(self) -> Dict[str, object]:
         return {
             "path_combinations": self.path_combinations,
             "rf_assignments": self.rf_assignments,
@@ -141,6 +150,7 @@ class EnumerationStats:
             "pruned_co_prefixes": self.pruned_co_prefixes,
             "total_pruned": self.total_pruned,
             "elapsed_seconds": self.elapsed_seconds,
+            "stage_seconds": dict(self.stage_seconds),
         }
 
 
@@ -194,6 +204,9 @@ class PathCombo:
     read_pairs: Tuple[Tuple[int, int], ...] = ()
     #: per-location CoWW edges forced by program order alone
     base_co_edges: Dict[str, List[Pair]] = field(default_factory=dict)
+    #: the interned event universe the combo's relations are encoded
+    #: against (global ids are assigned densely, 0..n-1)
+    universe: Optional[EventUniverse] = None
 
     @property
     def choice_lists(self) -> List[List[int]]:
@@ -262,10 +275,10 @@ class BasicRfStage(PruneStage):
         sources: List[int],
         stats: EnumerationStats,
     ) -> List[int]:
-        po_pairs = combo.po.pairs
+        po_after_read = combo.po.successor_mask(read)
         kept: List[int] = []
         for w in sources:
-            if (read, w) in po_pairs:
+            if (po_after_read >> w) & 1:
                 stats.rf_sources_pruned += 1
                 continue
             kept.append(w)
@@ -287,11 +300,11 @@ class CoherenceStage(PruneStage):
         stats: EnumerationStats,
     ) -> List[int]:
         prior = combo.writes_before.get(read, ())
-        po_pairs = combo.po.pairs
+        po_after_read = combo.po.successor_mask(read)
         kept: List[int] = []
         for w in sources:
             # reading a po-later same-thread write is a po-loc ∪ rf cycle
-            if (read, w) in po_pairs:
+            if (po_after_read >> w) & 1:
                 stats.rf_sources_pruned += 1
                 continue
             # with a same-thread write w' before the read, anything
@@ -400,7 +413,7 @@ def _instantiate_paths(
         )
         next_eid += 1
 
-    po_pairs: List[Pair] = []
+    po_rows: Dict[int, int] = {}
     rmw_pairs: List[Pair] = []
     addr_pairs: List[Pair] = []
     data_pairs: List[Pair] = []
@@ -439,10 +452,13 @@ def _instantiate_paths(
             elif template.rmw_read_pos is not None:
                 rmw_pairs.append((thread_eids[template.rmw_read_pos], eid))
             prev_eid = eid
-        # program order: total within the thread (transitive)
-        for i in range(len(thread_eids)):
-            for j in range(i + 1, len(thread_eids)):
-                po_pairs.append((thread_eids[i], thread_eids[j]))
+        # program order: total within the thread (transitive), built as
+        # suffix bitmasks — one row per event, no pair materialisation
+        later = 0
+        for eid in reversed(thread_eids):
+            if later:
+                po_rows[eid] = later
+            later |= 1 << eid
         # dependencies and value expressions, renamed to global ids
         for eid in thread_eids:
             template = templates[eid]
@@ -470,7 +486,7 @@ def _instantiate_paths(
     combo = PathCombo(
         events=events,
         templates=templates,
-        po=Relation(po_pairs),
+        po=Relation.from_rows(po_rows),
         rmw=Relation(rmw_pairs),
         addr=Relation(addr_pairs),
         data=Relation(data_pairs),
@@ -478,6 +494,7 @@ def _instantiate_paths(
         finals=finals,
         constraints=constraints,
         write_exprs=write_exprs,
+        universe=EventUniverse(e.eid for e in events),
     )
     _index_combo(combo)
     return combo
@@ -500,7 +517,7 @@ def _index_combo(combo: PathCombo) -> None:
     combo.init_write = init_write
     combo.init_ids = frozenset(init_ids)
 
-    po_pairs = combo.po.pairs
+    po = combo.po
     # per thread+location, accesses in program order
     by_thread_loc: Dict[Tuple[int, Optional[str]], List[Event]] = {}
     for e in events:
@@ -516,15 +533,14 @@ def _index_combo(combo: PathCombo) -> None:
             continue
         for e in group:
             if e.is_read:
+                succ = po.successor_mask(e.eid)
                 before = tuple(
                     w.eid
                     for w in group
-                    if w.is_write and (w.eid, e.eid) in po_pairs
+                    if w.is_write and (po.successor_mask(w.eid) >> e.eid) & 1
                 )
                 after = tuple(
-                    w.eid
-                    for w in group
-                    if w.is_write and (e.eid, w.eid) in po_pairs
+                    w.eid for w in group if w.is_write and (succ >> w.eid) & 1
                 )
                 if before:
                     writes_before[e.eid] = before
@@ -532,13 +548,15 @@ def _index_combo(combo: PathCombo) -> None:
                     writes_after[e.eid] = after
         reads = [e.eid for e in group if e.is_read]
         for r1 in reads:
+            succ = po.successor_mask(r1)
             for r2 in reads:
-                if (r1, r2) in po_pairs:
+                if (succ >> r2) & 1:
                     read_pairs.append((r1, r2))
         ws = [e.eid for e in group if e.is_write]
         for w1 in ws:
+            succ = po.successor_mask(w1)
             for w2 in ws:
-                if (w1, w2) in po_pairs:
+                if (succ >> w2) & 1:
                     base_co_edges.setdefault(loc, []).append((w1, w2))
     combo.writes_before = writes_before
     combo.writes_after = writes_after
@@ -663,7 +681,9 @@ class ExecutionEnumerator:
             filtered: Dict[int, List[int]] = {}
             for read, sources in raw.items():
                 for stage in self.stages:
+                    t0 = time.perf_counter()
                     sources = stage.filter_rf_sources(combo, read, sources, self.stats)
+                    self.stats.add_stage_time(stage.name, time.perf_counter() - t0)
                 filtered[read] = sources
             combo.rf_candidates = filtered
             combo.read_ids = sorted(filtered)
@@ -682,10 +702,15 @@ class ExecutionEnumerator:
                 self.stats.rejected_value_cycle += 1
                 self._tick()
                 continue
-            if any(
-                stage.reject_assignment(combo, rf_map, values, self.stats)
-                for stage in self.stages
-            ):
+            rejected = False
+            for stage in self.stages:
+                t0 = time.perf_counter()
+                verdict = stage.reject_assignment(combo, rf_map, values, self.stats)
+                self.stats.add_stage_time(stage.name, time.perf_counter() - t0)
+                if verdict:
+                    rejected = True
+                    break
+            if rejected:
                 self._tick()
                 continue
 
@@ -740,21 +765,25 @@ class ExecutionEnumerator:
         }
         builders: Dict[str, RelationBuilder] = {}
         for stage in self.stages:
-            for a, b in stage.co_precedence(combo, rf_map):
-                if a in combo.init_ids:
-                    continue  # init is co-first: trivially satisfied
-                if b in combo.init_ids:
-                    return None  # nothing can be co-before init
-                loc = loc_of[a]
-                builder = builders.setdefault(loc, RelationBuilder())
-                # incremental infeasibility check: a constraint edge that
-                # closes a cycle means no coherence order can exist
-                if builder.would_close_cycle(a, b):
-                    return None
-                if builder.add(a, b):
-                    loc_preds = preds.setdefault(loc, {})
-                    loc_preds.setdefault(b, set()).add(a)
-                    loc_preds.setdefault(a, set())
+            t0 = time.perf_counter()
+            try:
+                for a, b in stage.co_precedence(combo, rf_map):
+                    if a in combo.init_ids:
+                        continue  # init is co-first: trivially satisfied
+                    if b in combo.init_ids:
+                        return None  # nothing can be co-before init
+                    loc = loc_of[a]
+                    builder = builders.setdefault(loc, RelationBuilder())
+                    # incremental infeasibility check: a constraint edge
+                    # that closes a cycle means no coherence order exists
+                    if builder.would_close_cycle(a, b):
+                        return None
+                    if builder.add(a, b):
+                        loc_preds = preds.setdefault(loc, {})
+                        loc_preds.setdefault(b, set()).add(a)
+                        loc_preds.setdefault(a, set())
+            finally:
+                self.stats.add_stage_time(stage.name, time.perf_counter() - t0)
         return preds
 
     def _co_orders(
@@ -764,21 +793,22 @@ class ExecutionEnumerator:
 
         Orders are built incrementally, write-by-write and per location:
         a write whose constraint-predecessors are not all placed prunes
-        the whole prefix (and its factorial tail) in one step.  The
-        cross-location product grows relations via :meth:`Relation.extend`
-        so each location-prefix (pairs and successor index) is built once
-        and shared across its whole subtree of combinations.
+        the whole prefix (and its factorial tail) in one step.  Each
+        per-location chain becomes a total order via
+        :meth:`Relation.from_order` (suffix bitmasks, no pair loops) and
+        the cross-location product unions the disjoint row sets, so each
+        location-order is encoded once and shared across its whole
+        subtree of combinations.
         """
         locs = sorted(combo.writes_by_loc)
-        per_loc: List[List[Tuple[Pair, ...]]] = []
+        per_loc: List[List[Relation]] = []
         for loc in locs:
             ws = combo.writes_by_loc[loc]
-            chain_pairs: List[Tuple[Pair, ...]] = []
-            for chain in self._linear_extensions(ws, preds.get(loc, {})):
-                builder = RelationBuilder()
-                builder.add_chain((combo.init_write[loc],) + chain, transitive=True)
-                chain_pairs.append(tuple(builder.freeze()))
-            per_loc.append(chain_pairs)
+            orders = [
+                Relation.from_order((combo.init_write[loc],) + chain)
+                for chain in self._linear_extensions(ws, preds.get(loc, {}))
+            ]
+            per_loc.append(orders)
         # init writes of untouched locations are co-minimal trivially
         # (single write, no pairs needed)
 
@@ -786,8 +816,8 @@ class ExecutionEnumerator:
             if index == len(per_loc):
                 yield co
                 return
-            for pairs in per_loc[index]:
-                yield from product(index + 1, co.extend(pairs))
+            for order in per_loc[index]:
+                yield from product(index + 1, co.union(order))
 
         yield from product(0, Relation.empty())
 

@@ -180,3 +180,82 @@ class TestCompilationInvariants:
                 simulate_c(litmus, "rc11").outcomes
                 == simulate_c(reparsed, "rc11").outcomes
             )
+
+
+class TestKernelEquivalence:
+    """The compiled kernel pipeline is a pure optimisation: split
+    static/dynamic evaluation over bitmask rows must be observably
+    identical to whole-model evaluation, for every generated test."""
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(litmus=test_strategy,
+           model_name=st.sampled_from(("sc", "rc11", "c11_simp")))
+    def test_split_matches_whole_model(self, litmus, model_name):
+        from repro.cat.registry import get_model
+        from repro.cat.stdlib import (
+            build_env,
+            build_static_env,
+            dynamic_bindings,
+        )
+
+        model = get_model(model_name)
+        compiled = model.compile()
+        result = simulate_c(litmus, "sc", keep_executions=True)
+        for execution, _ in result.executions:
+            whole = model.evaluate(build_env(execution))
+            static = build_static_env(
+                execution.events, execution.po, execution.rmw,
+                execution.addr, execution.data, execution.ctrl,
+            )
+            prefix = compiled.run_static(static.env)
+            split = compiled.run_dynamic(
+                prefix, dynamic_bindings(execution, static)
+            )
+            assert split.allowed == whole.allowed
+            assert sorted(split.flags) == sorted(whole.flags)
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(litmus=test_strategy)
+    def test_derived_relations_match_reference(self, litmus):
+        """Execution-derived relations (fr, loc, int/ext, final memory)
+        computed by mask kernels equal their pair-level definitions."""
+        result = simulate_c(litmus, "rc11", keep_executions=True)
+        for execution, _ in result.executions:
+            rf = frozenset(execution.rf)
+            co = frozenset(execution.co)
+            ref_fr = frozenset(
+                (r, w2) for w, r in rf for w1, w2 in co if w1 == w
+            )
+            assert frozenset(execution.fr) == ref_fr
+            events = execution.events
+            ref_loc = frozenset(
+                (a.eid, b.eid)
+                for a in events for b in events
+                if a.eid != b.eid and a.is_access and b.is_access
+                and a.loc is not None and a.loc == b.loc
+            )
+            assert frozenset(execution.same_location()) == ref_loc
+            ref_int = frozenset(
+                (a.eid, b.eid)
+                for a in events for b in events
+                if a.eid != b.eid and a.tid == b.tid and not a.is_init
+            )
+            assert frozenset(execution.internal()) == ref_int
+            ref_ext = frozenset(
+                (a.eid, b.eid)
+                for a in events for b in events
+                if a.eid != b.eid and a.tid != b.tid
+            )
+            assert frozenset(execution.external()) == ref_ext
+            co_pairs = execution.co.pairs
+            for loc, value in execution.final_memory().items():
+                ws = [e for e in events if e.is_write and e.loc == loc]
+                maximal = [
+                    w for w in ws
+                    if not any((w.eid, o.eid) in co_pairs for o in ws)
+                ]
+                assert len(maximal) == 1
+                expected = maximal[0].value
+                assert value == (0 if expected is None else expected)

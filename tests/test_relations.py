@@ -310,3 +310,205 @@ class TestRelationBuilder:
         probe = Relation([(i, (i + 1) % 8) for i in range(8)])
         assert frozen.compose(probe) == direct.compose(probe)
         assert frozen.is_acyclic() == direct.is_acyclic()
+
+
+# --------------------------------------------------------------------- #
+# Differential property tests: every bitmask kernel op is checked
+# against an executable reference semantics over frozensets of pairs.
+# Strategies deliberately include empty relations, self-loops and
+# non-contiguous event ids (the bit-position-is-event-id encoding must
+# not assume dense 0..n-1 universes).
+# --------------------------------------------------------------------- #
+
+# sparse ids: gaps, plus ids above one 64-bit word to cross word sizes
+sparse_ids = st.sampled_from([0, 1, 2, 3, 5, 11, 40, 67])
+sparse_pairs = st.frozensets(
+    st.tuples(sparse_ids, sparse_ids), max_size=24
+)
+sparse_sets = st.frozensets(sparse_ids, max_size=8)
+
+
+def ref_compose(r, s):
+    return frozenset((a, d) for a, b in r for c, d in s if b == c)
+
+
+def ref_closure(r):
+    out = set(r)
+    while True:
+        new = ref_compose(out, out) | out
+        if new == out:
+            return frozenset(out)
+        out = new
+
+
+def ref_acyclic(r):
+    closure = ref_closure(r)
+    return not any(a == b for a, b in closure)
+
+
+def as_pairs(relation):
+    return frozenset(relation)
+
+
+class TestDifferential:
+    """Kernel ops vs. the frozenset-of-pairs reference semantics."""
+
+    @given(sparse_pairs, sparse_pairs)
+    def test_union(self, r, s):
+        assert as_pairs(Relation(r) | Relation(s)) == r | s
+
+    @given(sparse_pairs, sparse_pairs)
+    def test_intersection(self, r, s):
+        assert as_pairs(Relation(r) & Relation(s)) == r & s
+
+    @given(sparse_pairs, sparse_pairs)
+    def test_difference(self, r, s):
+        assert as_pairs(Relation(r) - Relation(s)) == r - s
+
+    @given(sparse_pairs)
+    def test_inverse(self, r):
+        assert as_pairs(Relation(r).inverse()) == frozenset(
+            (b, a) for a, b in r
+        )
+
+    @given(sparse_pairs, sparse_pairs)
+    def test_compose(self, r, s):
+        assert as_pairs(Relation(r).compose(Relation(s))) == ref_compose(r, s)
+
+    @given(sparse_pairs)
+    @settings(max_examples=60)
+    def test_transitive_closure(self, r):
+        assert as_pairs(Relation(r).transitive_closure()) == ref_closure(r)
+
+    @given(sparse_pairs)
+    @settings(max_examples=60)
+    def test_reflexive_transitive_closure(self, r):
+        elems = frozenset(x for pair in r for x in pair)
+        expected = ref_closure(r) | frozenset((x, x) for x in elems)
+        assert (
+            as_pairs(Relation(r).reflexive_transitive_closure(elems))
+            == expected
+        )
+
+    @given(sparse_pairs)
+    def test_optional(self, r):
+        elems = frozenset(x for pair in r for x in pair)
+        expected = r | frozenset((x, x) for x in elems)
+        assert as_pairs(Relation(r).optional(elems)) == expected
+
+    @given(sparse_pairs)
+    @settings(max_examples=60)
+    def test_is_acyclic(self, r):
+        assert Relation(r).is_acyclic() == ref_acyclic(r)
+
+    @given(sparse_pairs)
+    def test_is_irreflexive(self, r):
+        assert Relation(r).is_irreflexive() == all(a != b for a, b in r)
+
+    @given(sparse_pairs, sparse_sets)
+    def test_restrict(self, r, keep):
+        expected = frozenset(
+            (a, b) for a, b in r if a in keep and b in keep
+        )
+        assert as_pairs(Relation(r).restrict(keep)) == expected
+
+    @given(sparse_pairs, sparse_sets)
+    def test_restrict_domain(self, r, keep):
+        expected = frozenset((a, b) for a, b in r if a in keep)
+        assert as_pairs(Relation(r).restrict_domain(keep)) == expected
+
+    @given(sparse_pairs, sparse_sets)
+    def test_restrict_range(self, r, keep):
+        expected = frozenset((a, b) for a, b in r if b in keep)
+        assert as_pairs(Relation(r).restrict_range(keep)) == expected
+
+    @given(sparse_pairs)
+    def test_domain_codomain_field(self, r):
+        relation = Relation(r)
+        assert relation.domain() == frozenset(a for a, _ in r)
+        assert relation.codomain() == frozenset(b for _, b in r)
+        assert relation.field() == frozenset(x for pair in r for x in pair)
+
+    @given(sparse_pairs)
+    def test_pairs_len_bool_contains(self, r):
+        relation = Relation(r)
+        assert relation.pairs == r
+        assert len(relation) == len(r)
+        assert bool(relation) == bool(r)
+        for pair in r:
+            assert pair in relation
+        assert (99, 98) not in relation
+
+    @given(sparse_pairs)
+    def test_successor_mask_matches_pairs(self, r):
+        relation = Relation(r)
+        for a in relation.domain():
+            mask = relation.successor_mask(a)
+            succ = frozenset(b for x, b in r if x == a)
+            assert frozenset(
+                i for i in range(128) if (mask >> i) & 1
+            ) == succ
+
+    @given(sparse_sets, sparse_sets)
+    def test_cartesian(self, xs, ys):
+        expected = frozenset((a, b) for a in xs for b in ys)
+        assert as_pairs(Relation.cartesian(xs, ys)) == expected
+
+    @given(sparse_sets)
+    def test_identity(self, xs):
+        assert as_pairs(Relation.identity(xs)) == frozenset(
+            (x, x) for x in xs
+        )
+
+    @given(sparse_pairs, sparse_pairs)
+    def test_seq_equals_compose(self, r, s):
+        assert Relation(r).seq(Relation(s)) == Relation(r).compose(
+            Relation(s)
+        )
+
+    @given(sparse_pairs)
+    def test_equality_and_hash_are_extensional(self, r):
+        a = Relation(r)
+        b = Relation(sorted(r))  # different construction order
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_negative_event_id_rejected(self):
+        with pytest.raises(ValueError):
+            Relation([(-1, 0)])
+
+
+class TestEventUniverse:
+    def test_dense_and_sparse(self):
+        from repro.core.relations import EventUniverse
+
+        dense = EventUniverse([0, 1, 2])
+        assert dense.is_dense()
+        sparse = EventUniverse([0, 2, 5])
+        assert not sparse.is_dense()
+        assert sparse.eids == (0, 2, 5)
+        assert sparse.mask == 0b100101
+
+    def test_identity_and_full(self):
+        from repro.core.relations import EventUniverse
+
+        uni = EventUniverse([1, 3])
+        assert as_pairs(uni.identity()) == frozenset([(1, 1), (3, 3)])
+        assert as_pairs(uni.full()) == frozenset(
+            (a, b) for a in (1, 3) for b in (1, 3)
+        )
+
+    def test_identity_cached_across_instances(self):
+        from repro.core.relations import EventUniverse
+
+        a = EventUniverse([0, 1, 4])
+        b = EventUniverse([4, 1, 0])
+        assert a.identity() is b.identity()
+        assert a.full() is b.full()
+
+    def test_mask_roundtrip(self):
+        from repro.core.relations import EventUniverse
+
+        uni = EventUniverse([0, 2, 7])
+        mask = uni.mask_of([2, 7])
+        assert uni.events_of(mask) == frozenset([2, 7])
