@@ -1,0 +1,54 @@
+"""Static analysis for the two in-tree DSLs.
+
+``repro.analysis`` is the fail-fast gate in front of the expensive
+machinery: :mod:`~repro.analysis.catlint` sort-checks Cat memory models
+before they reach the interpreter's compiled kernels, and
+:mod:`~repro.analysis.litmuslint` cross-checks litmus tests before a
+campaign schedules a single cell. Both emit :class:`Diagnostic`\\ s
+(stable code, severity, source span) collected into
+:class:`LintReport`\\ s; registration paths raise :class:`LintError` on
+error-severity findings and collect warnings.
+
+Entry points:
+
+* :func:`lint_cat_source` / :func:`lint_cat` — Cat models,
+* :func:`lint_c_source` / :func:`lint_litmus` — C litmus tests,
+* ``Session.lint()`` and ``telechat lint`` — whole-corpus sweeps.
+"""
+
+from ..core.errors import LintError
+from .catlint import Kind, builtin_kinds, lint_cat, lint_cat_source
+from .diagnostics import (
+    CODES,
+    Diagnostic,
+    LintReport,
+    Severity,
+    diag,
+    severity_of_code,
+)
+from .litmuslint import (
+    check_mutant,
+    lint_c_source,
+    lint_litmus,
+    lint_litmus_report,
+    summarize_thread,
+)
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "Kind",
+    "LintError",
+    "LintReport",
+    "Severity",
+    "builtin_kinds",
+    "check_mutant",
+    "diag",
+    "lint_c_source",
+    "lint_cat",
+    "lint_cat_source",
+    "lint_litmus",
+    "lint_litmus_report",
+    "severity_of_code",
+    "summarize_thread",
+]

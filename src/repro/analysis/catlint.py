@@ -1,0 +1,404 @@
+"""Static sort-checking and semantic lint for Cat models.
+
+The Cat language has two sorts: *event sets* (``R``, ``W``, ``ACQ``, ...)
+and *relations* (``po``, ``rf``, ...). The interpreter silently coerces
+sets to identity relations in relation position (``_as_relation``) but
+hard-fails the other way (``_as_set`` raises :class:`ModelError` on a
+relation) — so misuses like ``[po]`` or ``rf * W`` only explode at
+simulation time, deep inside a campaign worker. This analyzer infers the
+sort of every expression and reports:
+
+* errors for the constructs the interpreter would reject or loop on:
+  brackets / cartesian products / ``toid`` / ``fencerel`` over relations,
+  undefined names, unknown builtins, wrong arities, negated checks over
+  literally-empty expressions, and — the subtle one — **non-monotone**
+  ``let rec`` bodies. The fixpoint in :mod:`repro.cat.interp` is a
+  Knaster–Tarski iteration, sound only when each recursive body is
+  monotone in the recursive names; a recursive name under ``~`` or on
+  the right-hand side of ``\\`` can make the iteration oscillate forever
+  (the interpreter cuts it off at an arbitrary cap and returns whatever
+  it had).
+* warnings for the silent coercions and the smells: sets coerced to
+  identity relations in ``;`` / closures / checks, mixed-sort unions,
+  shadowed and unused ``let`` bindings, duplicate check names, trivially
+  true checks.
+
+The builtin name/sort table is derived from :mod:`repro.cat.stdlib`
+itself (by building a static environment over zero events) so it can
+never drift from what models actually see at run time.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.errors import ParseError
+from ..core.span import Span
+from ..cat.ast import (
+    Binary,
+    Bracket,
+    Call,
+    CatExpr,
+    CatModel,
+    Check,
+    Complement,
+    EmptySet,
+    Let,
+    Name,
+    Postfix,
+    Show,
+    Universe,
+)
+from ..cat.interp import DYNAMIC_BASE_NAMES
+from .diagnostics import Diagnostic, LintReport, diag
+
+
+class Kind(enum.Enum):
+    """The sort of a Cat expression."""
+
+    SET = "set"
+    REL = "relation"
+    #: unknown / polymorphic (``0``, ``{}``, results of errors)
+    TOP = "top"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: builtin functions: name -> (arity, argument Kind, result Kind)
+BUILTIN_FUNCTIONS: Dict[str, Tuple[int, Kind, Kind]] = {
+    "domain": (1, Kind.REL, Kind.SET),
+    "range": (1, Kind.REL, Kind.SET),
+    "toid": (1, Kind.SET, Kind.REL),
+    "fencerel": (1, Kind.SET, Kind.REL),
+}
+
+_BUILTIN_KINDS: Optional[Dict[str, Kind]] = None
+
+
+def builtin_kinds() -> Dict[str, Kind]:
+    """Name -> sort for every builtin binding a model can reference.
+
+    Derived from the actual static environment :func:`build_static_env`
+    constructs (over zero events), plus the dynamic per-candidate
+    relations (``rf``, ``co``, ...) the interpreter injects — the lint
+    table stays in lock-step with the runtime by construction.
+    """
+    global _BUILTIN_KINDS
+    if _BUILTIN_KINDS is None:
+        from ..cat.stdlib import build_static_env
+        from ..core.relations import Relation
+
+        kinds: Dict[str, Kind] = {}
+        env = build_static_env((), Relation.empty()).env
+        for name, value in env.bindings.items():
+            kinds[name] = Kind.REL if isinstance(value, Relation) else Kind.SET
+        for name in DYNAMIC_BASE_NAMES:
+            kinds[name] = Kind.REL
+        _BUILTIN_KINDS = kinds
+    return dict(_BUILTIN_KINDS)
+
+
+def _is_literal_empty(expr: CatExpr) -> bool:
+    """Is ``expr`` empty for *every* candidate execution, structurally?"""
+    if isinstance(expr, EmptySet):
+        return True
+    if isinstance(expr, Bracket):
+        return _is_literal_empty(expr.inner)
+    if isinstance(expr, Binary):
+        if expr.op in ("&", ";", "*"):
+            return _is_literal_empty(expr.left) or _is_literal_empty(expr.right)
+        if expr.op == "|":
+            return _is_literal_empty(expr.left) and _is_literal_empty(expr.right)
+        if expr.op == "\\":
+            return _is_literal_empty(expr.left)
+    if isinstance(expr, Postfix) and expr.op in ("^+", "^-1"):
+        # ?/^* of empty is the identity relation, not empty
+        return _is_literal_empty(expr.inner)
+    return False
+
+
+class _CatLinter:
+    def __init__(self, model: CatModel, source_name: str = "") -> None:
+        self.model = model
+        self.source_name = source_name or model.name or "<model>"
+        self.diagnostics: List[Diagnostic] = []
+        self.env: Dict[str, Kind] = builtin_kinds()
+        #: user let bindings: name -> span of the defining name token
+        self.user_defs: Dict[str, Optional[Span]] = {}
+        #: names referenced anywhere outside their own defining binding
+        self.used: Set[str] = set()
+        self.check_names: Dict[str, Optional[Span]] = {}
+
+    def emit(self, code: str, message: str, span: Optional[Span]) -> None:
+        self.diagnostics.append(diag(code, message, span, self.source_name))
+
+    # ------------------------------------------------------------------ #
+    # sort inference
+    # ------------------------------------------------------------------ #
+    def infer(self, expr: CatExpr) -> Kind:
+        if isinstance(expr, Name):
+            kind = self.env.get(expr.ident)
+            if kind is None:
+                self.emit("CAT002", f"undefined name {expr.ident!r}", expr.span)
+                return Kind.TOP
+            return kind
+        if isinstance(expr, EmptySet):
+            return Kind.TOP
+        if isinstance(expr, Universe):
+            return Kind.SET
+        if isinstance(expr, Bracket):
+            inner = self.infer(expr.inner)
+            if inner is Kind.REL:
+                self.emit(
+                    "CAT001",
+                    "[...] needs an event set, got a relation "
+                    "(the interpreter would reject this)",
+                    expr.span,
+                )
+            return Kind.REL
+        if isinstance(expr, Complement):
+            return self.infer(expr.inner)
+        if isinstance(expr, Postfix):
+            inner = self.infer(expr.inner)
+            if inner is Kind.SET:
+                self.emit(
+                    "CAT103",
+                    f"{expr.op} applies to relations; this event set is "
+                    "coerced to an identity relation",
+                    expr.span,
+                )
+            return Kind.REL
+        if isinstance(expr, Binary):
+            return self._infer_binary(expr)
+        if isinstance(expr, Call):
+            return self._infer_call(expr)
+        return Kind.TOP  # pragma: no cover - exhaustive over the AST
+
+    def _infer_binary(self, expr: Binary) -> Kind:
+        left = self.infer(expr.left)
+        right = self.infer(expr.right)
+        if expr.op == "*":
+            for side, kind in (("left", left), ("right", right)):
+                if kind is Kind.REL:
+                    self.emit(
+                        "CAT003",
+                        f"* builds a relation from two event sets; the {side} "
+                        "operand is a relation (the interpreter would reject this)",
+                        expr.span,
+                    )
+            return Kind.REL
+        if expr.op == ";":
+            for side, kind in (("left", left), ("right", right)):
+                if kind is Kind.SET:
+                    self.emit(
+                        "CAT103",
+                        f"; composes relations; the {side} event-set operand "
+                        "is coerced to an identity relation",
+                        expr.span,
+                    )
+            return Kind.REL
+        # | & \  — sort-preserving on matching operands
+        if left is Kind.TOP:
+            return right
+        if right is Kind.TOP:
+            return left
+        if left is not right:
+            self.emit(
+                "CAT104",
+                f"{expr.op} mixes an event set and a relation; the set is "
+                "coerced to an identity relation",
+                expr.span,
+            )
+            return Kind.REL
+        return left
+
+    def _infer_call(self, expr: Call) -> Kind:
+        spec = BUILTIN_FUNCTIONS.get(expr.func)
+        if spec is None:
+            self.emit("CAT004", f"unknown builtin function {expr.func!r}", expr.span)
+            for arg in expr.args:
+                self.infer(arg)
+            return Kind.TOP
+        arity, arg_kind, result = spec
+        if len(expr.args) != arity:
+            self.emit(
+                "CAT005",
+                f"{expr.func} takes {arity} argument(s), got {len(expr.args)}",
+                expr.span,
+            )
+        for arg in expr.args:
+            got = self.infer(arg)
+            if arg_kind is Kind.SET and got is Kind.REL:
+                self.emit(
+                    "CAT006",
+                    f"{expr.func} needs an event set, got a relation "
+                    "(the interpreter would reject this)",
+                    expr.span,
+                )
+            elif arg_kind is Kind.REL and got is Kind.SET:
+                self.emit(
+                    "CAT103",
+                    f"{expr.func} applies to relations; this event set is "
+                    "coerced to an identity relation",
+                    expr.span,
+                )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # monotonicity of let rec
+    # ------------------------------------------------------------------ #
+    def _check_monotone(
+        self, expr: CatExpr, rec_names: Set[str], positive: bool
+    ) -> None:
+        """Walk ``expr`` tracking polarity; a recursive name reached in
+        negative polarity makes the fixpoint non-monotone."""
+        if isinstance(expr, Name):
+            if expr.ident in rec_names and not positive:
+                self.emit(
+                    "CAT007",
+                    f"recursive name {expr.ident!r} occurs in a non-monotone "
+                    "position (under ~ or on the right of \\); the fixpoint "
+                    "iteration is ill-defined",
+                    expr.span,
+                )
+            return
+        if isinstance(expr, Complement):
+            self._check_monotone(expr.inner, rec_names, not positive)
+            return
+        if isinstance(expr, Binary):
+            self._check_monotone(expr.left, rec_names, positive)
+            flip = not positive if expr.op == "\\" else positive
+            self._check_monotone(expr.right, rec_names, flip)
+            return
+        if isinstance(expr, (Bracket, Postfix)):
+            self._check_monotone(expr.inner, rec_names, positive)
+            return
+        if isinstance(expr, Call):
+            for arg in expr.args:
+                self._check_monotone(arg, rec_names, positive)
+            return
+
+    # ------------------------------------------------------------------ #
+    # statements
+    # ------------------------------------------------------------------ #
+    def _free_names(self, expr: CatExpr, out: Set[str]) -> None:
+        if isinstance(expr, Name):
+            out.add(expr.ident)
+        elif isinstance(expr, (Bracket, Complement, Postfix)):
+            self._free_names(expr.inner, out)
+        elif isinstance(expr, Binary):
+            self._free_names(expr.left, out)
+            self._free_names(expr.right, out)
+        elif isinstance(expr, Call):
+            for arg in expr.args:
+                self._free_names(arg, out)
+
+    def _binding_span(self, stmt: Let, index: int) -> Optional[Span]:
+        if index < len(stmt.binding_spans):
+            return stmt.binding_spans[index]
+        return stmt.span
+
+    def lint_let(self, stmt: Let) -> None:
+        rec_names = {name for name, _ in stmt.bindings} if stmt.recursive else set()
+        if stmt.recursive:
+            # all names are visible (as relations) inside every body
+            for index, (name, _) in enumerate(stmt.bindings):
+                self._mark_defined(name, self._binding_span(stmt, index), Kind.REL)
+        for index, (name, body) in enumerate(stmt.bindings):
+            span = self._binding_span(stmt, index)
+            free: Set[str] = set()
+            self._free_names(body, free)
+            # a binding referencing only itself does not count as used
+            self.used.update(free - {name})
+            kind = self.infer(body)
+            if stmt.recursive:
+                self._check_monotone(body, rec_names, positive=True)
+            else:
+                self._mark_defined(name, span, kind)
+
+    def _mark_defined(self, name: str, span: Optional[Span], kind: Kind) -> None:
+        if name in self.env:
+            origin = (
+                "an earlier binding" if name in self.user_defs else "a builtin"
+            )
+            self.emit("CAT101", f"binding {name!r} shadows {origin}", span)
+        self.env[name] = kind
+        self.user_defs.setdefault(name, span)
+
+    def lint_check(self, stmt: Check) -> None:
+        kind = self.infer(stmt.expr)
+        if stmt.kind in ("acyclic", "irreflexive") and kind is Kind.SET:
+            self.emit(
+                "CAT103",
+                f"{stmt.kind} applies to relations; this event set is "
+                "coerced to an identity relation",
+                stmt.span,
+            )
+        free: Set[str] = set()
+        self._free_names(stmt.expr, free)
+        self.used.update(free)
+        if _is_literal_empty(stmt.expr):
+            if stmt.negated:
+                self.emit(
+                    "CAT008",
+                    f"~{stmt.kind} over a literally empty expression can "
+                    "never be satisfied",
+                    stmt.span,
+                )
+            else:
+                self.emit(
+                    "CAT106",
+                    f"{stmt.kind} over a literally empty expression is "
+                    "trivially true",
+                    stmt.span,
+                )
+        if stmt.name in self.check_names:
+            self.emit(
+                "CAT105",
+                f"duplicate check name {stmt.name!r} (give each check a "
+                "distinct 'as' name)",
+                stmt.span,
+            )
+        else:
+            self.check_names[stmt.name] = stmt.span
+
+    def run(self) -> List[Diagnostic]:
+        for stmt in self.model.statements:
+            if isinstance(stmt, Let):
+                self.lint_let(stmt)
+            elif isinstance(stmt, Check):
+                self.lint_check(stmt)
+            elif isinstance(stmt, Show):
+                self.used.update(stmt.names)
+        for name, span in self.user_defs.items():
+            if name not in self.used:
+                self.emit("CAT102", f"binding {name!r} is never used", span)
+        self.diagnostics.sort(
+            key=lambda d: (d.span.line if d.span else 0, d.span.column if d.span else 0)
+        )
+        return self.diagnostics
+
+
+def lint_cat(model: CatModel, source_name: str = "") -> List[Diagnostic]:
+    """Lint a parsed :class:`CatModel`; returns all diagnostics, in source order."""
+    return _CatLinter(model, source_name).run()
+
+
+def lint_cat_source(source: str, name: str = "") -> LintReport:
+    """Parse and lint Cat source text; parse failures become ``CAT000``."""
+    from ..cat.parser import parse
+
+    try:
+        model = parse(source, name)
+    except ParseError as exc:
+        d = diag(
+            "CAT000",
+            exc.message,
+            Span.at(exc.line, exc.column),
+            name or "<model>",
+        )
+        return LintReport(name or "<model>", "cat", (d,))
+    target = name or model.name or "<model>"
+    return LintReport(target, "cat", tuple(lint_cat(model, target)))

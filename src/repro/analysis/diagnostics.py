@@ -1,0 +1,159 @@
+"""Diagnostics framework shared by the static analyzers.
+
+A :class:`Diagnostic` is one finding: a stable ``code`` (``CAT001``,
+``LIT102``, ...), a :class:`Severity`, a human message, and — when the
+analyzer could locate the construct — a :class:`~repro.core.span.Span`
+into the source. A :class:`LintReport` bundles every diagnostic for one
+target (a model, a litmus test) behind ``ok`` / ``errors`` / ``warnings``
+accessors and uniform text / JSON renderings.
+
+The full code catalogue lives in :data:`CODES`; ``docs/analysis.md`` and
+the negative-fixture tests are kept in sync with it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.span import Span
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings make registration raise and campaigns refuse to
+    dispatch; ``WARNING`` findings collect but never block.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Every diagnostic code the analyzers can emit, with a one-line summary.
+#: CAT0xx / LIT0xx are errors; CAT1xx / LIT1xx are warnings; the ``000``
+#: codes wrap parse failures so a lint run over a corpus never throws.
+CODES: Dict[str, str] = {
+    # --- catlint: errors -------------------------------------------------- #
+    "CAT000": "cat source failed to parse",
+    "CAT001": "bracket [e] applied to a relation (needs an event set)",
+    "CAT002": "reference to an undefined name",
+    "CAT003": "cartesian product * applied to a relation (needs event sets)",
+    "CAT004": "call to an unknown builtin function",
+    "CAT005": "wrong number of arguments to a builtin function",
+    "CAT006": "set-valued builtin (toid/fencerel) applied to a relation",
+    "CAT007": "non-monotone let rec body (recursive name under ~ or on the "
+    "right of \\); the fixpoint iteration is ill-defined",
+    "CAT008": "unsatisfiable check (negated check over a literally empty "
+    "expression always fails)",
+    # --- catlint: warnings ------------------------------------------------ #
+    "CAT101": "let binding shadows a builtin or an earlier binding",
+    "CAT102": "let binding is never used",
+    "CAT103": "event set silently coerced to an identity relation where a "
+    "relation is expected",
+    "CAT104": "set and relation mixed as operands of | & or \\",
+    "CAT105": "duplicate check name",
+    "CAT106": "trivially true check over a literally empty expression",
+    # --- litmuslint: errors ----------------------------------------------- #
+    "LIT000": "litmus source failed to parse",
+    "LIT001": "condition reads a register its thread never assigns (or an "
+    "unknown thread)",
+    "LIT002": "condition reads a location that is never initialized and "
+    "never written",
+    "LIT003": "thread name is not of the form Pn, or duplicates another",
+    # --- litmuslint: warnings --------------------------------------------- #
+    "LIT101": "condition reads a location that is written but missing from "
+    "the init section",
+    "LIT102": "init location is never read by any thread and not observed "
+    "by the condition",
+    "LIT103": "thread has no observable effect (no shared store/RMW, no "
+    "register the condition observes)",
+    "LIT104": "condition observes nothing (trivially true or false)",
+    "LIT105": "thread accesses a location missing from the init section",
+}
+
+
+def severity_of_code(code: str) -> Severity:
+    """Severity is encoded in the hundreds digit: ``XXX0nn`` error, ``XXX1nn`` warning."""
+    if code not in CODES:
+        raise KeyError(f"unknown diagnostic code {code!r}")
+    return Severity.WARNING if code[3] == "1" else Severity.ERROR
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding, renderable as ``file:line:col: severity CODE: msg``."""
+
+    code: str
+    severity: Severity
+    message: str
+    span: Optional[Span] = None
+    source_name: str = ""
+
+    def render(self, source_name: str = "") -> str:
+        name = source_name or self.source_name or "<input>"
+        line = self.span.line if self.span else 0
+        column = self.span.column if self.span else 0
+        position = f"{line}:{column}" if column else str(line)
+        return f"{name}:{position}: {self.severity} {self.code}: {self.message}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "source": self.source_name,
+            "line": self.span.line if self.span else 0,
+            "column": self.span.column if self.span else 0,
+        }
+
+
+def diag(
+    code: str,
+    message: str,
+    span: Optional[Span] = None,
+    source_name: str = "",
+) -> Diagnostic:
+    """Build a :class:`Diagnostic`, deriving severity from the code."""
+    return Diagnostic(code, severity_of_code(code), message, span, source_name)
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """All diagnostics for one lint target.
+
+    ``kind`` is ``"cat"`` or ``"litmus"`` — which analyzer produced it.
+    """
+
+    target: str
+    kind: str
+    diagnostics: Tuple[Diagnostic, ...] = field(default=())
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def render(self) -> str:
+        if not self.diagnostics:
+            return f"{self.target}: clean"
+        return "\n".join(d.render(self.target) for d in self.diagnostics)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "target": self.target,
+            "kind": self.kind,
+            "ok": self.ok,
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }

@@ -1,0 +1,363 @@
+"""Semantic lint for C litmus tests.
+
+A litmus test whose ``exists`` clause reads a register no thread ever
+assigns, or a location nothing initializes, does not fail — it silently
+evaluates the missing observable as 0 across *every* execution and an
+entire campaign of verdicts goes vacuous. This analyzer cross-checks the
+three parts of a test (init section, thread bodies, final-state
+condition) against each other:
+
+* errors for conditions over registers never assigned (``LIT001``) or
+  locations neither initialized nor written (``LIT002``), and malformed
+  or duplicate thread names (``LIT003``) — the compiler and simulator
+  both key on ``Pn``;
+* warnings for the smells: condition locations written but missing from
+  init (``LIT101``), dead init variables (``LIT102``), threads with no
+  observable effect (``LIT103``), conditions observing nothing
+  (``LIT104``), and threads touching locations outside init (``LIT105``).
+
+The same checks serve as mutation-safety prechecks:
+:func:`check_mutant` lets :mod:`repro.tools.mutate` refuse operators
+that would produce an ill-formed mutant (e.g. one whose condition went
+vacuous) instead of burning simulator budget on it.
+
+When the original source text is available (file targets, hunt-artifact
+round-trips) a lightweight span finder locates the condition line, init
+entries and thread headers so diagnostics carry real ``line:col``
+positions; lints over programmatically-built tests carry no span.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.errors import ParseError
+from ..core.litmus import LitmusBase
+from ..core.span import Span
+from ..lang.ast import (
+    Assign,
+    AtomicLoad,
+    AtomicRMW,
+    AtomicStore,
+    BinExpr,
+    CExpr,
+    CLitmus,
+    CStmt,
+    CThread,
+    Decl,
+    ExprStmt,
+    Fence,
+    If,
+    PlainLoad,
+    PlainStore,
+    UnExpr,
+    While,
+)
+from .diagnostics import Diagnostic, LintReport, Severity, diag
+
+
+# --------------------------------------------------------------------------- #
+# span recovery from source text
+# --------------------------------------------------------------------------- #
+class _SpanFinder:
+    """Locate condition / init / thread-header constructs in litmus source.
+
+    The surface syntax is line-oriented enough (Fig. 1 shape) that plain
+    substring search per construct recovers exact positions without
+    re-tokenizing: the condition is the ``exists``/``forall`` line, the
+    init section precedes the first thread header, and thread headers
+    match ``name(``.
+    """
+
+    def __init__(self, source: str) -> None:
+        self.lines = source.splitlines()
+
+    def _span_at(self, line_index: int, column_index: int, width: int) -> Span:
+        return Span.at(line_index + 1, column_index + 1, width)
+
+    def condition_span(self, token: str = "") -> Optional[Span]:
+        for index in range(len(self.lines) - 1, -1, -1):
+            text = self.lines[index]
+            match = re.search(r"\b(exists|forall)\b", text)
+            if not match:
+                continue
+            if token:
+                at = text.find(token, match.end())
+                if at >= 0:
+                    return self._span_at(index, at, len(token))
+            return self._span_at(index, match.start(), len(match.group()))
+        return None
+
+    def _first_thread_line(self) -> int:
+        for index, text in enumerate(self.lines):
+            if re.search(r"\bP\d+\s*\(", text):
+                return index
+        return len(self.lines)
+
+    def init_span(self, var: str) -> Optional[Span]:
+        pattern = re.compile(rf"\b{re.escape(var)}\b\s*=")
+        for index in range(self._first_thread_line()):
+            match = pattern.search(self.lines[index])
+            if match:
+                return self._span_at(index, match.start(), len(var))
+        return None
+
+    def thread_span(self, name: str) -> Optional[Span]:
+        pattern = re.compile(rf"\b{re.escape(name)}\s*\(")
+        for index, text in enumerate(self.lines):
+            match = pattern.search(text)
+            if match:
+                return self._span_at(index, match.start(), len(name))
+        return None
+
+
+class _NoSpans:
+    """Span finder for programmatically-built tests: everything is None."""
+
+    def condition_span(self, token: str = "") -> Optional[Span]:
+        return None
+
+    def init_span(self, var: str) -> Optional[Span]:
+        return None
+
+    def thread_span(self, name: str) -> Optional[Span]:
+        return None
+
+
+# --------------------------------------------------------------------------- #
+# thread summaries
+# --------------------------------------------------------------------------- #
+@dataclass
+class _ThreadInfo:
+    regs_assigned: Set[str] = dc_field(default_factory=set)
+    locs_read: Set[str] = dc_field(default_factory=set)
+    locs_written: Set[str] = dc_field(default_factory=set)
+
+    @property
+    def shared_write(self) -> bool:
+        return bool(self.locs_written)
+
+    @property
+    def locs_accessed(self) -> Set[str]:
+        return self.locs_read | self.locs_written
+
+
+def _scan_expr(expr: CExpr, info: _ThreadInfo) -> None:
+    if isinstance(expr, (PlainLoad, AtomicLoad)):
+        info.locs_read.add(expr.loc)
+    elif isinstance(expr, AtomicRMW):
+        info.locs_read.add(expr.loc)
+        info.locs_written.add(expr.loc)
+        _scan_expr(expr.operand, info)
+    elif isinstance(expr, BinExpr):
+        _scan_expr(expr.left, info)
+        _scan_expr(expr.right, info)
+    elif isinstance(expr, UnExpr):
+        _scan_expr(expr.operand, info)
+    # IntLit / Var: no shared-memory effect
+
+
+def _scan_stmts(body: Sequence[CStmt], info: _ThreadInfo) -> None:
+    for stmt in body:
+        if isinstance(stmt, (Decl, Assign)):
+            info.regs_assigned.add(stmt.var)
+            _scan_expr(stmt.expr, info)
+        elif isinstance(stmt, (PlainStore, AtomicStore)):
+            info.locs_written.add(stmt.loc)
+            _scan_expr(stmt.expr, info)
+        elif isinstance(stmt, ExprStmt):
+            _scan_expr(stmt.expr, info)
+        elif isinstance(stmt, If):
+            _scan_expr(stmt.cond, info)
+            _scan_stmts(stmt.then_body, info)
+            _scan_stmts(stmt.else_body, info)
+        elif isinstance(stmt, While):
+            _scan_expr(stmt.cond, info)
+            _scan_stmts(stmt.body, info)
+        elif isinstance(stmt, Fence):
+            pass
+
+
+def summarize_thread(thread: CThread) -> Tuple[Set[str], Set[str], Set[str]]:
+    """(registers assigned, locations read, locations written) for a thread."""
+    info = _ThreadInfo()
+    _scan_stmts(thread.body, info)
+    return info.regs_assigned, info.locs_read, info.locs_written
+
+
+# --------------------------------------------------------------------------- #
+# the linter
+# --------------------------------------------------------------------------- #
+def lint_litmus(
+    litmus: LitmusBase,
+    source: str = "",
+    source_name: str = "",
+) -> List[Diagnostic]:
+    """Lint a litmus test; returns all diagnostics.
+
+    ``source`` (when available) recovers real spans for the diagnostics;
+    ``source_name`` labels them. Non-C litmus variants (assembly
+    front-ends) are out of scope and lint clean.
+    """
+    if not isinstance(litmus, CLitmus):
+        return []
+    name = source_name or litmus.name or "<litmus>"
+    spans = _SpanFinder(source) if source else _NoSpans()
+    diagnostics: List[Diagnostic] = []
+
+    def emit(code: str, message: str, span: Optional[Span]) -> None:
+        diagnostics.append(diag(code, message, span, name))
+
+    # thread names ------------------------------------------------------- #
+    infos: Dict[str, _ThreadInfo] = {}
+    for thread in litmus.threads:
+        try:
+            thread.tid
+        except ValueError:
+            emit(
+                "LIT003",
+                f"thread name {thread.name!r} is not of the form Pn",
+                spans.thread_span(thread.name),
+            )
+        if thread.name in infos:
+            emit(
+                "LIT003",
+                f"duplicate thread name {thread.name!r}",
+                spans.thread_span(thread.name),
+            )
+            continue
+        info = _ThreadInfo()
+        _scan_stmts(thread.body, info)
+        infos[thread.name] = info
+
+    written_anywhere: Set[str] = set()
+    read_anywhere: Set[str] = set()
+    for info in infos.values():
+        written_anywhere |= info.locs_written
+        read_anywhere |= info.locs_read
+
+    # condition vs. threads ---------------------------------------------- #
+    observables = litmus.condition.observables()
+    observed_locs: Set[str] = set()
+    observed_regs: Dict[str, Set[str]] = {}
+    for obs in sorted(observables):
+        if ":" in obs:
+            thread_name, reg = obs.split(":", 1)
+            observed_regs.setdefault(thread_name, set()).add(reg)
+            info = infos.get(thread_name)
+            if info is None:
+                emit(
+                    "LIT001",
+                    f"condition reads {obs!r} but there is no thread "
+                    f"{thread_name!r}",
+                    spans.condition_span(obs),
+                )
+            elif reg not in info.regs_assigned:
+                emit(
+                    "LIT001",
+                    f"condition reads {obs!r} but {thread_name} never "
+                    f"assigns {reg!r}; the observable is vacuously 0",
+                    spans.condition_span(obs),
+                )
+        else:
+            observed_locs.add(obs)
+            if obs in litmus.init:
+                continue
+            if obs in written_anywhere:
+                emit(
+                    "LIT101",
+                    f"condition reads location {obs!r} which is written but "
+                    "missing from the init section",
+                    spans.condition_span(obs),
+                )
+            else:
+                emit(
+                    "LIT002",
+                    f"condition reads location {obs!r} which is never "
+                    "initialized and never written; the observable is "
+                    "vacuously 0",
+                    spans.condition_span(obs),
+                )
+    if not observables:
+        emit(
+            "LIT104",
+            "condition observes nothing; its verdict does not depend on "
+            "the program",
+            spans.condition_span(),
+        )
+
+    # init vs. threads ---------------------------------------------------- #
+    for loc in sorted(litmus.init):
+        if loc not in read_anywhere and loc not in observed_locs:
+            emit(
+                "LIT102",
+                f"init location {loc!r} is never read by any thread and not "
+                "observed by the condition",
+                spans.init_span(loc),
+            )
+    for thread in litmus.threads:
+        info = infos.get(thread.name)
+        if info is None:
+            continue
+        for loc in sorted(info.locs_accessed - set(litmus.init)):
+            emit(
+                "LIT105",
+                f"thread {thread.name} accesses location {loc!r} which is "
+                "missing from the init section",
+                spans.thread_span(thread.name),
+            )
+        if not info.shared_write and not (
+            info.regs_assigned & observed_regs.get(thread.name, set())
+        ):
+            emit(
+                "LIT103",
+                f"thread {thread.name} has no observable effect (no shared "
+                "store or RMW, and the condition observes none of its "
+                "registers)",
+                spans.thread_span(thread.name),
+            )
+
+    diagnostics.sort(
+        key=lambda d: (d.span.line if d.span else 0, d.span.column if d.span else 0)
+    )
+    return diagnostics
+
+
+def lint_litmus_report(
+    litmus: LitmusBase,
+    source: str = "",
+    source_name: str = "",
+) -> LintReport:
+    """:func:`lint_litmus` wrapped in a :class:`LintReport`."""
+    name = source_name or litmus.name or "<litmus>"
+    return LintReport(name, "litmus", tuple(lint_litmus(litmus, source, name)))
+
+
+def lint_c_source(source: str, name: str = "") -> LintReport:
+    """Parse and lint C litmus source text; parse failures become ``LIT000``."""
+    from ..lang.parser import parse_c_litmus
+
+    try:
+        litmus = parse_c_litmus(source, name or "test")
+    except ParseError as exc:
+        d = diag(
+            "LIT000",
+            exc.message,
+            Span.at(exc.line, exc.column) if exc.line else None,
+            name or "<litmus>",
+        )
+        return LintReport(name or "<litmus>", "litmus", (d,))
+    return lint_litmus_report(litmus, source, name or litmus.name)
+
+
+def check_mutant(litmus: LitmusBase) -> List[Diagnostic]:
+    """Mutation-safety precheck: the error-severity diagnostics of a mutant.
+
+    :mod:`repro.tools.mutate` refuses any mutant this returns findings
+    for — a mutation that disconnects the condition from the program
+    (e.g. by removing the only write a ``LIT001`` register depends on)
+    would otherwise burn simulation budget on a vacuous test.
+    """
+    return [d for d in lint_litmus(litmus) if d.severity is Severity.ERROR]

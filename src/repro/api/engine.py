@@ -68,7 +68,7 @@ from ..compiler.profiles import DEFAULT_VERSION, make_profile, parse_profile
 from ..core.errors import ModelError, ReproError
 from ..herd.enumerate import Budget
 from ..herd.simulator import SimulationResult, simulate_c
-from ..hunt.reduce import ReductionError, reduce_test, test_size
+from ..hunt.reduce import ReductionError, reduce_test
 from ..hunt.scheduler import HuntScheduler
 from ..lang.ast import CLitmus
 from ..lang.printer import print_c_litmus
@@ -452,6 +452,35 @@ class _CellContext:
                 self.budget_candidates)
 
 
+def _lint_tests(tests, plan: CampaignPlan, what: str = "test") -> None:
+    """Fail fast on ill-formed litmus tests (``plan.lint``).
+
+    Runs :mod:`repro.analysis.litmuslint` over every materialised test;
+    error-severity findings (vacuous conditions, malformed threads)
+    raise a :class:`PlanError` carrying the diagnostics — before any
+    cell is scheduled, so a bad corpus costs nothing but the lint.
+    """
+    if not plan.lint:
+        return
+    from ..analysis import Severity, lint_litmus
+
+    errors = []
+    for litmus in tests:
+        errors.extend(
+            d for d in lint_litmus(litmus, source_name=litmus.name)
+            if d.severity is Severity.ERROR
+        )
+    if errors:
+        rendered = "; ".join(d.render() for d in errors[:5])
+        more = f" (+{len(errors) - 5} more)" if len(errors) > 5 else ""
+        exc = PlanError(
+            f"{len(errors)} {what}(s) failed static analysis — fix the "
+            f"corpus or pass lint=False: {rendered}{more}"
+        )
+        exc.diagnostics = tuple(errors)
+        raise exc
+
+
 def _check_session_constraints(plan: CampaignPlan, session) -> None:
     """The store/process-pool guards every campaign mode enforces."""
     if plan.resume and session.store is None:
@@ -521,6 +550,7 @@ def iter_campaign(plan: CampaignPlan, session) -> Iterator[CampaignEvent]:
             pair_map[f"{spec_a}|{spec_b}"] = (spec_a, prof_a, spec_b, prof_b)
 
     tests = plan.resolve_tests(shapes=session.shapes)
+    _lint_tests(tests, plan)
     store = session.store
     result_cache = session.result_cache
     ctx = _CellContext(plan, session)
@@ -704,6 +734,7 @@ def iter_hunt(plan: CampaignPlan, session) -> Iterator[CampaignEvent]:
     seeds = plan.resolve_tests(shapes=session.shapes)
     if not seeds:
         raise PlanError("a hunt needs at least one seed test")
+    _lint_tests(seeds, plan, what="seed")
     operators = (
         plan.mutations if plan.mutations is not None else DEFAULT_OPERATORS
     )

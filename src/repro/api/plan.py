@@ -95,6 +95,11 @@ class CampaignPlan:
     #: hunt mode: delta-debug every positive down to a 1-minimal
     #: reproducer (ignored outside hunt mode)
     reduce: bool = True
+    #: run :mod:`repro.analysis.litmuslint` over every materialised test
+    #: before dispatch; error-severity findings abort with a
+    #: :class:`PlanError` carrying the diagnostics (fail fast, before a
+    #: single cell is scheduled)
+    lint: bool = True
 
     def __post_init__(self) -> None:
         # coerce the sequence fields so list-passing callers still freeze
@@ -229,4 +234,5 @@ class CampaignPlan:
             "mutation_rounds": self.mutation_rounds,
             "mutation_limit": self.mutation_limit,
             "reduce": self.reduce,
+            "lint": self.lint,
         }

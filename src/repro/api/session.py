@@ -47,7 +47,6 @@ from ..tools.diy import SHAPES, Shape
 from ..tools.mutate import MUTATIONS
 from ..tools.sources import TestSource
 from .engine import CampaignStream, iter_campaign, iter_hunt, iter_sharded
-from .events import CampaignEvent
 from .plan import CampaignPlan, PlanError
 
 
@@ -112,13 +111,30 @@ class Session:
             store = CampaignStore(store)
         self.store: Optional[CampaignStore] = store
         self.budget_candidates = budget_candidates
+        #: warning-severity diagnostics collected from lint-validated
+        #: registrations (errors raise instead of landing here)
+        self.lint_warnings: list = []
 
     # ------------------------------------------------------------------ #
     # registration
     # ------------------------------------------------------------------ #
-    def register_model(self, name: str, source: str, **meta: object) -> str:
-        """Register a private Cat model for this session only."""
-        self.models.register(name, source, **meta)
+    def register_model(
+        self, name: str, source: str, *, lint: bool = True, **meta: object
+    ) -> str:
+        """Register a private Cat model for this session only.
+
+        The source is statically validated first
+        (:mod:`repro.analysis.catlint`): error-severity findings raise
+        :class:`~repro.core.errors.LintError` and nothing is registered;
+        warnings collect in :attr:`lint_warnings`. Pass ``lint=False``
+        to register a deliberately broken model (e.g. to test engine
+        error paths)."""
+        from ..cat.registry import register_model_source
+
+        warnings = register_model_source(
+            name, source, registry=self.models, validate=lint, **meta
+        )
+        self.lint_warnings.extend(warnings)
         return self.models.resolve(name)
 
     def register_shape(self, shape: Shape, **meta: object) -> Shape:
@@ -188,6 +204,32 @@ class Session:
         identity, so a session that shadows a model name can never replay
         verdicts computed under the global model of the same name."""
         return model_signature(name, self.models)
+
+    def lint(self, *targets) -> list:
+        """Run the static analyzers, returning one
+        :class:`~repro.analysis.LintReport` per target.
+
+        Targets may be model names (resolved against this session's
+        overlay, so shadowed models lint as shadowed), compiled
+        :class:`Model` objects, or litmus tests (:class:`CLitmus`).
+        With no targets, every model visible to the session is linted.
+        """
+        from ..analysis import lint_cat, lint_cat_source, lint_litmus_report
+        from ..analysis.diagnostics import LintReport
+
+        if not targets:
+            targets = tuple(self.models.names())
+        reports = []
+        for target in targets:
+            if isinstance(target, CLitmus):
+                reports.append(lint_litmus_report(target))
+            elif isinstance(target, Model):
+                diags = tuple(lint_cat(target.ast, target.name))
+                reports.append(LintReport(target.name, "cat", diags))
+            else:
+                key = self.models.resolve(target)
+                reports.append(lint_cat_source(self.models.get(key), key))
+        return reports
 
     def shape(self, name: str) -> Shape:
         return self.shapes.get(name)

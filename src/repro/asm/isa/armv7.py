@@ -11,8 +11,7 @@ it stands for the MOVW/MOVT pair and does not touch memory.
 
 from __future__ import annotations
 
-import re
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from .aarch64 import _imm, _parse_mem, _split_operands
 from .base import Instruction, Isa, IsaError, Op, register_isa

@@ -13,7 +13,7 @@ into event tags by :mod:`repro.asm.semantics`.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import FrozenSet, Optional, Tuple
 
 from ...core.registry import Registry

@@ -13,7 +13,7 @@ materialisation pair.
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from .base import Instruction, Isa, IsaError, Op, register_isa
 

@@ -9,7 +9,7 @@ cross-architecture ``A``/``L`` event tags consumed by
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from .base import Instruction, Isa, IsaError, Op, register_isa
 

@@ -9,7 +9,7 @@ which the TSO Cat model treats as a full fence.
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from .base import Instruction, Isa, IsaError, Op, register_isa
 

@@ -15,10 +15,10 @@ between them, which ``s2l`` reconstructs from object-file metadata.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..core.errors import MappingError
-from ..core.litmus import Condition, LitmusBase
+from ..core.litmus import LitmusBase
 from .isa.base import Instruction
 
 

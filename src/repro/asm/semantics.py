@@ -31,12 +31,12 @@ Design notes mirroring the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..core.errors import SimulationError
-from ..core.events import EventKind, MemoryOrder
-from ..core.expr import BinOp, Const, Expr, ReadVal, UnOp, is_constant
+from ..core.events import EventKind
+from ..core.expr import BinOp, Const, Expr, ReadVal, is_constant
 from ..herd.templates import EventTemplate, PathConstraint, ThreadPath, ThreadProgram
 from .isa.base import Instruction, Op
 from .litmus import AsmLitmus, AsmThread

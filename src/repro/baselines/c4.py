@@ -26,7 +26,7 @@ from ..hw.simulator import HardwareRunResult, run_on_hardware
 from ..lang.ast import CLitmus
 from ..tools.c2s import compile_and_disassemble
 from ..tools.l2c import prepare
-from ..tools.mcompare import StateMapping, default_mapping
+from ..tools.mcompare import default_mapping
 from ..tools.s2l import assembly_to_litmus
 
 

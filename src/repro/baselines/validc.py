@@ -20,7 +20,7 @@ The two Table I properties this preserves:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Union
+from typing import FrozenSet, Optional, Union
 
 from ..cat.interp import Model
 from ..compiler.ir import IRProgram

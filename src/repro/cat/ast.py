@@ -15,12 +15,21 @@ models need:
 * ``flag`` checks, which mark rather than forbid executions (used for data
   races / undefined behaviour),
 * ``show``/``include`` statements (accepted and ignored).
+
+Every node carries an optional source :class:`~repro.core.span.Span` in a
+``compare=False`` field: the parser attaches token positions so the
+static analyzers (:mod:`repro.analysis.catlint`) and error messages can
+point at the offending construct, while node equality — which the
+compiled-kernel caches and tests rely on — ignores where a node came
+from.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..core.span import Span
 
 
 class CatExpr:
@@ -30,16 +39,21 @@ class CatExpr:
 @dataclass(frozen=True)
 class Name(CatExpr):
     ident: str
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
 class EmptySet(CatExpr):
     """The literal ``0`` / ``{}`` — an empty relation."""
 
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
+
 
 @dataclass(frozen=True)
 class Universe(CatExpr):
     """The literal ``_`` — the set of all events."""
+
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -47,23 +61,26 @@ class Bracket(CatExpr):
     """``[S]`` — identity relation on the set S."""
 
     inner: CatExpr
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
 class Binary(CatExpr):
-    """Binary operator: one of ``| & \\ ; *``."""
+    """Binary operator: one of ``| & \\ ; *`` (span: the operator token)."""
 
     op: str
     left: CatExpr
     right: CatExpr
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
 class Postfix(CatExpr):
-    """Postfix operator: one of ``^+ ^* ^-1 ?``."""
+    """Postfix operator: one of ``^+ ^* ^-1 ?`` (span: the operator token)."""
 
     op: str
     inner: CatExpr
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -71,14 +88,16 @@ class Complement(CatExpr):
     """``~e`` — complement w.r.t. the universe (set or relation)."""
 
     inner: CatExpr
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
 class Call(CatExpr):
-    """``f(e, ...)`` — builtin function application."""
+    """``f(e, ...)`` — builtin function application (span: the callee)."""
 
     func: str
     args: Tuple[CatExpr, ...]
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 class CatStmt:
@@ -87,10 +106,18 @@ class CatStmt:
 
 @dataclass(frozen=True)
 class Let(CatStmt):
-    """``let [rec] n1 = e1 and n2 = e2 ...``"""
+    """``let [rec] n1 = e1 and n2 = e2 ...``
+
+    ``binding_spans`` parallels ``bindings``: the span of each bound
+    *name* token, for shadowed/unused-binding diagnostics.
+    """
 
     bindings: Tuple[Tuple[str, CatExpr], ...]
     recursive: bool = False
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
+    binding_spans: Tuple[Optional[Span], ...] = field(
+        default=(), compare=False, repr=False
+    )
 
 
 @dataclass(frozen=True)
@@ -102,6 +129,7 @@ class Check(CatStmt):
     name: str
     negated: bool = False
     flag: bool = False
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -109,6 +137,7 @@ class Show(CatStmt):
     """``show r`` — ignored (herd uses it for rendering)."""
 
     names: Tuple[str, ...]
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -116,6 +145,7 @@ class Include(CatStmt):
     """``include "file.cat"`` — resolved against the model registry."""
 
     path: str
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)

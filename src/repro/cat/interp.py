@@ -43,7 +43,7 @@ Identity invariants the compiled kernels rely on:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from ..core.errors import ModelError

@@ -9,6 +9,12 @@ Operator precedence, loosest first (matching herd's cat):
     ~      complement (prefix)
     ^+ ^* ^-1 ?   postfix closures
     [e]  name  0  _  f(e)  (e)   primary
+
+Every AST node is stamped with the :class:`~repro.core.span.Span` of its
+defining token (the operator for ``Binary``/``Postfix``, the name token
+for ``Name``/``Call``, the keyword for statements), and every
+:class:`ParseError` points at the offending token — including at end of
+input, where the last seen token's position is used.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ..core.errors import ParseError
+from ..core.span import Span
 from .ast import (
     Binary,
     Bracket,
@@ -36,6 +43,10 @@ from .ast import (
 from .lexer import Token, tokenize
 
 
+def _span(token: Token) -> Span:
+    return Span.at(token.line, token.column, width=len(token.text))
+
+
 class _Parser:
     def __init__(self, tokens: List[Token]) -> None:
         self.tokens = tokens
@@ -49,10 +60,18 @@ class _Parser:
             return self.tokens[self.pos]
         return None
 
+    def _last_position(self) -> Tuple[int, int]:
+        """Where the input ended: just past the last token seen."""
+        if self.tokens:
+            last = self.tokens[-1]
+            return last.line, last.column + len(last.text)
+        return 1, 1
+
     def next(self) -> Token:
         token = self.peek()
         if token is None:
-            raise ParseError("unexpected end of model")
+            line, column = self._last_position()
+            raise ParseError("unexpected end of model", line, column)
         self.pos += 1
         return token
 
@@ -69,8 +88,10 @@ class _Parser:
         if token is None or token.kind != kind or (text is not None and token.text != text):
             got = f"{token.kind} {token.text!r}" if token else "end of input"
             want = text if text is not None else kind
-            line = token.line if token else 0
-            raise ParseError(f"expected {want!r}, got {got}", line)
+            line, column = (
+                (token.line, token.column) if token else self._last_position()
+            )
+            raise ParseError(f"expected {want!r}, got {got}", line, column)
         return self.next()
 
     def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
@@ -118,11 +139,11 @@ class _Parser:
                 # optional "as alias"
                 if self.accept("KEYWORD", "as"):
                     self.expect("IDENT")
-                return Show(tuple(names))
+                return Show(tuple(names), span=_span(token))
             if token.text == "include":
                 self.next()
                 path = self.expect("STRING").text.strip('"')
-                return Include(path)
+                return Include(path, span=_span(token))
         if token.kind == "OP" and token.text == "~":
             # standalone negated check: `~empty r as name`
             return self.parse_check(flag=False)
@@ -131,17 +152,28 @@ class _Parser:
         )
 
     def parse_let(self) -> Let:
-        self.expect("KEYWORD", "let")
+        let_token = self.expect("KEYWORD", "let")
         recursive = bool(self.accept("KEYWORD", "rec"))
-        bindings: List[Tuple[str, CatExpr]] = [self.parse_binding()]
+        bindings: List[Tuple[str, CatExpr]] = []
+        binding_spans: List[Optional[Span]] = []
+        name, expr, name_span = self.parse_binding()
+        bindings.append((name, expr))
+        binding_spans.append(name_span)
         while self.accept("KEYWORD", "and"):
-            bindings.append(self.parse_binding())
-        return Let(tuple(bindings), recursive=recursive)
+            name, expr, name_span = self.parse_binding()
+            bindings.append((name, expr))
+            binding_spans.append(name_span)
+        return Let(
+            tuple(bindings),
+            recursive=recursive,
+            span=_span(let_token),
+            binding_spans=tuple(binding_spans),
+        )
 
-    def parse_binding(self) -> Tuple[str, CatExpr]:
-        name = self.expect("IDENT").text
+    def parse_binding(self) -> Tuple[str, CatExpr, Span]:
+        name_token = self.expect("IDENT")
         self.expect("OP", "=")
-        return name, self.parse_expr()
+        return name_token.text, self.parse_expr(), _span(name_token)
 
     def parse_check(self, flag: bool) -> Check:
         kw = self.next()
@@ -150,14 +182,18 @@ class _Parser:
             if kw.kind == "OP" and kw.text == "~":
                 inner = self.expect("KEYWORD")
                 if inner.text not in ("acyclic", "irreflexive", "empty"):
-                    raise ParseError(f"bad check kind {inner.text!r}", inner.line)
+                    raise ParseError(
+                        f"bad check kind {inner.text!r}", inner.line, inner.column
+                    )
                 expr = self.parse_expr()
                 name = self._check_name(inner.text)
-                return Check(inner.text, expr, name, negated=True, flag=flag)
+                return Check(
+                    inner.text, expr, name, negated=True, flag=flag, span=_span(kw)
+                )
             raise ParseError(f"bad check {kw.text!r}", kw.line, kw.column)
         expr = self.parse_expr()
         name = self._check_name(kw.text)
-        return Check(kw.text, expr, name, negated=False, flag=flag)
+        return Check(kw.text, expr, name, negated=False, flag=flag, span=_span(kw))
 
     def _check_name(self, default: str) -> str:
         if self.accept("KEYWORD", "as"):
@@ -171,64 +207,65 @@ class _Parser:
     def parse_union(self) -> CatExpr:
         expr = self.parse_difference()
         while self.at("OP", "|"):
-            self.next()
-            expr = Binary("|", expr, self.parse_difference())
+            op = self.next()
+            expr = Binary("|", expr, self.parse_difference(), span=_span(op))
         return expr
 
     def parse_difference(self) -> CatExpr:
         expr = self.parse_intersection()
         while self.at("OP", "\\"):
-            self.next()
-            expr = Binary("\\", expr, self.parse_intersection())
+            op = self.next()
+            expr = Binary("\\", expr, self.parse_intersection(), span=_span(op))
         return expr
 
     def parse_intersection(self) -> CatExpr:
         expr = self.parse_sequence()
         while self.at("OP", "&"):
-            self.next()
-            expr = Binary("&", expr, self.parse_sequence())
+            op = self.next()
+            expr = Binary("&", expr, self.parse_sequence(), span=_span(op))
         return expr
 
     def parse_sequence(self) -> CatExpr:
         expr = self.parse_prefix()
         while True:
             if self.at("OP", ";"):
-                self.next()
-                expr = Binary(";", expr, self.parse_prefix())
+                op = self.next()
+                expr = Binary(";", expr, self.parse_prefix(), span=_span(op))
             elif self.at("OP", "*"):
-                self.next()
-                expr = Binary("*", expr, self.parse_prefix())
+                op = self.next()
+                expr = Binary("*", expr, self.parse_prefix(), span=_span(op))
             else:
                 return expr
 
     def parse_prefix(self) -> CatExpr:
         if self.at("OP", "~"):
-            self.next()
-            return Complement(self.parse_prefix())
+            op = self.next()
+            return Complement(self.parse_prefix(), span=_span(op))
         return self.parse_postfix()
 
     def parse_postfix(self) -> CatExpr:
         expr = self.parse_primary()
         while True:
             if self.at("CARET_PLUS"):
-                self.next()
-                expr = Postfix("^+", expr)
+                op = self.next()
+                expr = Postfix("^+", expr, span=_span(op))
             elif self.at("CARET_STAR"):
-                self.next()
-                expr = Postfix("^*", expr)
+                op = self.next()
+                expr = Postfix("^*", expr, span=_span(op))
             elif self.at("INVERSE"):
-                self.next()
-                expr = Postfix("^-1", expr)
+                op = self.next()
+                expr = Postfix("^-1", expr, span=_span(op))
             elif self.at("OP", "?"):
-                self.next()
-                expr = Postfix("?", expr)
+                op = self.next()
+                expr = Postfix("?", expr, span=_span(op))
             else:
                 return expr
 
     def parse_primary(self) -> CatExpr:
         token = self.peek()
         if token is None:
-            raise ParseError("unexpected end of expression")
+            line, column = self._last_position()
+            raise ParseError("unexpected end of expression", line, column)
         if token.kind == "OP" and token.text == "(":
             self.next()
             expr = self.parse_expr()
@@ -238,20 +275,20 @@ class _Parser:
             self.next()
             inner = self.parse_expr()
             self.expect("OP", "]")
-            return Bracket(inner)
+            return Bracket(inner, span=_span(token))
         if token.kind == "OP" and token.text == "{":
             self.next()
             self.expect("OP", "}")
-            return EmptySet()
+            return EmptySet(span=_span(token))
         if token.kind == "NUMBER":
             self.next()
             if token.text == "0":
-                return EmptySet()
+                return EmptySet(span=_span(token))
             raise ParseError(f"unexpected number {token.text}", token.line, token.column)
         if token.kind == "IDENT":
             self.next()
             if token.text == "_":
-                return Universe()
+                return Universe(span=_span(token))
             if self.at("OP", "("):
                 self.next()
                 args: List[CatExpr] = []
@@ -260,13 +297,21 @@ class _Parser:
                     while self.accept("OP", ","):
                         args.append(self.parse_expr())
                 self.expect("OP", ")")
-                return Call(token.text, tuple(args))
-            return Name(token.text)
+                return Call(token.text, tuple(args), span=_span(token))
+            return Name(token.text, span=_span(token))
         raise ParseError(
             f"unexpected token {token.text!r} in expression", token.line, token.column
         )
 
 
-def parse(source: str) -> CatModel:
-    """Parse Cat source text into a :class:`CatModel`."""
-    return _Parser(tokenize(source)).parse_model()
+def parse(source: str, source_name: str = "") -> CatModel:
+    """Parse Cat source text into a :class:`CatModel`.
+
+    A :class:`ParseError` raised anywhere in the parse carries the
+    offending source line as its snippet (``exc.render()`` shows
+    ``file:line:col``, the line, and a column caret).
+    """
+    try:
+        return _Parser(tokenize(source)).parse_model()
+    except ParseError as exc:
+        raise exc.attach_source(source, source_name)

@@ -87,6 +87,46 @@ def compile_model(source: str, name: str) -> Model:
     return _COMPILE_CACHE[key]
 
 
+def lint_model_source(source: str, name: str = ""):
+    """Run :mod:`repro.analysis.catlint` over Cat source (lazy import —
+    the analysis package imports this package, not vice versa)."""
+    from ..analysis import lint_cat_source
+
+    return lint_cat_source(source, name)
+
+
+def register_model_source(
+    name: str,
+    source: str,
+    *,
+    registry: Optional[Registry[str]] = None,
+    validate: bool = True,
+    aliases=(),
+    **meta,
+):
+    """Register a Cat source, statically validating it first.
+
+    Error-severity findings (sort errors, undefined names, non-monotone
+    ``let rec`` ...) raise :class:`~repro.core.errors.LintError` *before*
+    the bad source lands in the registry; warning-severity findings are
+    returned for the caller to surface. ``validate=False`` skips the
+    analyzer (used by tests that deliberately register broken sources).
+    """
+    from ..core.errors import LintError
+
+    registry = registry if registry is not None else MODELS
+    warnings = ()
+    if validate:
+        report = lint_model_source(source, name)
+        if not report.ok:
+            raise LintError(
+                f"model {name!r} failed static analysis", report.errors
+            )
+        warnings = report.warnings
+    registry.register(name, source, aliases=aliases, **meta)
+    return warnings
+
+
 def model_signature(name, registry: Optional[Registry[str]] = None) -> str:
     """A short content digest of the model ``name`` resolves to under
     ``registry`` — the piece of cache-key identity that distinguishes a

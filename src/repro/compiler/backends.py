@@ -28,14 +28,14 @@ but the most negative ones in Table IV.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Type
+from typing import Dict, List, Type
 
 from ..asm.isa.base import Instruction, Op, get_isa
 from ..core.errors import CompilationError
 from ..core.events import MemoryOrder
 from . import bugs
 from .codegen import CompiledThread, CompiledUnit, _ThreadCodegen
-from .ir import IRFunction, IRInstr, IROp, IRProgram
+from .ir import IRInstr, IRProgram
 from .passes import optimise
 from .profiles import CompilerProfile
 
@@ -137,7 +137,6 @@ class AArch64Codegen(_ThreadCodegen):
         else:
             retry = self.fresh_label("st128")
             status = self.def_reg(None)
-            scratch_lo = lo
             self.emit(Instruction(op=Op.LABEL, label=retry))
             self.emit(Instruction(op=Op.LDX, dst=self.isa.zero_reg,
                                   dst2=self.isa.zero_reg, addr_reg=addr,

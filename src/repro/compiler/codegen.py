@@ -16,14 +16,12 @@ paper Fig. 11).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..asm.isa.base import Instruction, Isa, Op, get_isa
+from ..asm.isa.base import Instruction, Isa, Op
 from ..core.errors import CompilationError
 from ..core.events import MemoryOrder
-from . import bugs
 from .ir import IRFunction, IRInstr, IROp, IRProgram, Operand
-from .passes import optimise
 from .profiles import CompilerProfile
 
 

@@ -17,9 +17,9 @@ Output format per thread::
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
-from ..asm.isa.base import Instruction, Isa, Op, get_isa
+from ..asm.isa.base import Op, get_isa
 from .objfile import ObjectFile
 
 

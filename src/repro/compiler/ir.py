@@ -12,8 +12,8 @@ elimination of §IV-B can delete them).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
 
 from ..core.events import MemoryOrder
 

@@ -7,8 +7,7 @@ three-address form with fresh temporaries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List
 
 from ..core.errors import CompilationError
 from ..core.events import MemoryOrder

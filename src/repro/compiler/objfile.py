@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..asm.isa.base import Instruction, Op
-from .codegen import CompiledThread, CompiledUnit
+from .codegen import CompiledUnit
 
 DATA_BASE = 0x11000
 RODATA_BASE = 0x12000

@@ -13,8 +13,8 @@ the buggy past version, ``llvm-16`` the current one).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import FrozenSet, List, Optional
 
 from ..core.errors import CompilationError
 from ..core.registry import Registry

@@ -2,20 +2,79 @@
 
 from __future__ import annotations
 
+from typing import Iterable, Tuple
+
 
 class ReproError(Exception):
     """Base class for all library errors."""
 
 
 class ParseError(ReproError):
-    """A litmus test, Cat model or assembly file failed to parse."""
+    """A litmus test, Cat model or assembly file failed to parse.
 
-    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+    Every raise site supplies what it knows — ``line``, ``column``, the
+    offending source ``snippet`` and the ``source_name`` of the input —
+    and the top-level parse entry points backfill the snippet from the
+    source text, so one rendering (:meth:`render`) serves them all:
+    ``file:line:col: message`` plus the source line with a caret.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: int = 0,
+        column: int = 0,
+        snippet: str = "",
+        source_name: str = "",
+    ) -> None:
         location = f" at line {line}" if line else ""
         location += f", column {column}" if column else ""
         super().__init__(message + location)
+        self.message = message
         self.line = line
         self.column = column
+        self.snippet = snippet
+        self.source_name = source_name
+
+    def attach_source(self, source: str, name: str = "") -> "ParseError":
+        """Backfill ``snippet`` (from ``source``'s offending line) and
+        ``source_name`` without clobbering what a raise site provided."""
+        if name and not self.source_name:
+            self.source_name = name
+        if not self.snippet and self.line:
+            lines = source.splitlines()
+            if 1 <= self.line <= len(lines):
+                self.snippet = lines[self.line - 1]
+        return self
+
+    def render(self, source_name: str = "") -> str:
+        """The uniform ``file:line:col: message`` rendering (plus the
+        source line and a column caret when known)."""
+        name = source_name or self.source_name or "<input>"
+        position = f"{self.line}:{self.column}" if self.column else str(self.line)
+        out = f"{name}:{position}: {self.message}"
+        if self.snippet:
+            out += f"\n  {self.snippet}"
+            if self.column:
+                out += "\n  " + " " * (self.column - 1) + "^"
+        return out
+
+
+class LintError(ReproError):
+    """A model or test failed static analysis (:mod:`repro.analysis`).
+
+    Carries the error-severity :class:`~repro.analysis.Diagnostic`\\ s
+    that caused the failure, so callers (``Session.register_model``, the
+    campaign engine, the CLI) can render precise ``file:line:col``
+    locations instead of one opaque message.
+    """
+
+    def __init__(self, message: str, diagnostics: Iterable = ()) -> None:
+        self.diagnostics: Tuple = tuple(diagnostics)
+        detail = "\n".join(
+            "  " + d.render() for d in self.diagnostics
+        )
+        super().__init__(message + (":\n" + detail if detail else ""))
 
 
 class ModelError(ReproError):

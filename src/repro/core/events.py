@@ -16,7 +16,7 @@ event disappears and with it every ordering the read provided.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import FrozenSet, Optional, Tuple
 
 

@@ -17,10 +17,10 @@ values of observed thread-local registers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Tuple
 
-from .events import Event, EventKind, MemoryOrder
+from .events import Event, MemoryOrder
 from .relations import Relation
 
 

@@ -50,18 +50,7 @@ freezing them.  All operations return new relations; nothing mutates.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import (
-    Callable,
-    Dict,
-    FrozenSet,
-    Iterable,
-    Iterator,
-    List,
-    Mapping,
-    Optional,
-    Set,
-    Tuple,
-)
+from typing import (Callable, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple)
 
 Pair = Tuple[int, int]
 

@@ -51,7 +51,7 @@ from typing import (
 )
 
 from ..core.errors import SimulationTimeout
-from ..core.events import INIT_TID, Event, EventKind, MemoryOrder
+from ..core.events import INIT_TID, Event, EventKind
 from ..core.execution import Execution
 from ..core.expr import Expr
 from ..core.relations import EventUniverse, Pair, Relation, RelationBuilder

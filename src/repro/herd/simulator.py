@@ -15,7 +15,7 @@ as mcompare treat UB-flagged source tests as "anything goes".
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from ..cat.interp import Model
@@ -23,13 +23,7 @@ from ..cat.registry import get_model
 from ..cat.stdlib import build_static_env, dynamic_bindings
 from ..core.execution import Execution, Outcome
 from ..core.litmus import Condition
-from .enumerate import (
-    Budget,
-    Candidate,
-    EnumerationStats,
-    ExecutionEnumerator,
-    PruneStage,
-)
+from .enumerate import (Budget, EnumerationStats, ExecutionEnumerator, PruneStage)
 from .templates import ThreadProgram
 
 

@@ -13,8 +13,8 @@ solves values, and keeps only consistent candidates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
 
 from ..core.events import EventKind, MemoryOrder
 from ..core.expr import BinOp, Const, Expr, ReadVal, UnOp

@@ -18,15 +18,13 @@ from __future__ import annotations
 
 import random
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
 
 from ..asm.litmus import AsmLitmus
-from ..cat.registry import arch_model, get_model
-from ..cat.stdlib import build_env
 from ..core.execution import Outcome
 from ..herd.enumerate import Budget
-from ..herd.simulator import SimulationResult, simulate_asm
+from ..herd.simulator import simulate_asm
 from .chips import ChipSpec, get_chip
 
 

@@ -11,10 +11,10 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from ..core.events import MemoryOrder
-from ..core.litmus import Condition, LitmusBase
+from ..core.litmus import LitmusBase
 
 # --------------------------------------------------------------------------- #
 # expressions

@@ -563,11 +563,19 @@ def _split_explicit(name: str) -> Tuple[str, bool]:
 
 
 def parse_c_litmus(source: str, name: str = "test") -> CLitmus:
-    """Parse a C litmus test from source text."""
-    tokens = _expand_defines(_tokenize(source))
-    parser = _CParser(tokens)
-    litmus = parser.parse_litmus(default_name=name)
-    if parser.peek() is not None:
-        tok = parser.peek()
-        raise ParseError(f"trailing input {tok.text!r}", tok.line)  # type: ignore[union-attr]
+    """Parse a C litmus test from source text.
+
+    A :class:`ParseError` raised anywhere in the parse carries the
+    offending source line as its snippet (``exc.render()`` shows
+    ``file:line``, plus the line itself).
+    """
+    try:
+        tokens = _expand_defines(_tokenize(source))
+        parser = _CParser(tokens)
+        litmus = parser.parse_litmus(default_name=name)
+        if parser.peek() is not None:
+            tok = parser.peek()
+            raise ParseError(f"trailing input {tok.text!r}", tok.line)  # type: ignore[union-attr]
+    except ParseError as exc:
+        raise exc.attach_source(source, name)
     return litmus

@@ -13,8 +13,8 @@ an acquire read and a release write).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List
 
 from ..core.errors import SimulationError
 from ..core.events import EventKind, MemoryOrder

@@ -211,3 +211,21 @@ exists (P0:r0=0 /\ P1:r0=0)
 def atomics_128() -> CLitmus:
     """The 128-bit seq_cst shape of the §IV-C bug reports."""
     return parse_c_litmus(FIG_128_SOURCE, "atomics_128")
+
+
+#: every paper-test factory in this module, in figure order — the
+#: corpus ``telechat lint`` and the golden lint tests sweep.
+PAPER_TESTS = (
+    "fig1_exchange",
+    "fig7_lb",
+    "fig9_lb_plain",
+    "fig10_mp_rmw",
+    "fig11_lb3",
+    "sb_sc",
+    "atomics_128",
+)
+
+
+def all_tests() -> "list[CLitmus]":
+    """Instantiate every paper test (:data:`PAPER_TESTS`)."""
+    return [globals()[name]() for name in PAPER_TESTS]

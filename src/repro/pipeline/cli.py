@@ -23,6 +23,10 @@ Mirrors the paper artefact's Makefile entry points:
   found nothing;
 * ``telechat reduce TEST`` — delta-debug one positive test to a
   1-minimal reproducer and print its C source;
+* ``telechat lint [TARGET...]`` — static analysis
+  (:mod:`repro.analysis`) over cat models and litmus tests; with no
+  targets, sweeps the whole in-tree corpus (the CI gate); exits 1 on
+  error-severity findings (``--strict``: on warnings too);
 * ``telechat models`` / ``telechat shapes`` / ``telechat profiles`` —
   inventory listings (``--json`` for registry metadata).
 
@@ -46,6 +50,7 @@ from ..api import (
 )
 from ..cat.registry import MODELS
 from ..compiler.profiles import ARCHES, EPOCHS, default_profiles
+from ..core.errors import LintError, ParseError
 from ..lang.parser import parse_c_litmus
 from ..tools.diy import SHAPES, DiyConfig, build_test, small_config
 from .store import CampaignStore
@@ -355,6 +360,80 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_target(session: Session, spec: str):
+    """One ``telechat lint`` target: a ``.cat`` or litmus file path, a
+    model name, a paper-test name, or a diy shape name."""
+    import os
+
+    from .. import papertests
+    from ..analysis import lint_c_source, lint_cat_source, lint_litmus_report
+
+    if os.path.exists(spec):
+        with open(spec) as handle:
+            source = handle.read()
+        if spec.endswith(".cat"):
+            return lint_cat_source(source, spec)
+        return lint_c_source(source, spec)
+    try:
+        key = session.models.resolve(spec)
+    except Exception:
+        key = None
+    if key is not None:
+        return lint_cat_source(session.models.get(key), key)
+    factory = getattr(papertests, spec, None)
+    if callable(factory):
+        return lint_litmus_report(factory())
+    try:
+        shape = session.shape(spec)
+    except KeyError:
+        raise SystemExit(
+            f"cannot resolve lint target {spec!r}: not a file, not a "
+            f"model, not a repro.papertests name, not a diy shape"
+        )
+    return lint_litmus_report(build_test(shape, "rlx", name=spec))
+
+
+def _lint_corpus(session: Session) -> list:
+    """The default ``telechat lint`` sweep: every in-tree model, paper
+    test and hunt seed (what the CI lint job gates on)."""
+    from .. import papertests
+    from ..analysis import lint_cat_source, lint_litmus_report
+    from ..hunt.seeds import example_seeds
+
+    reports = []
+    for name in session.models.names():
+        reports.append(lint_cat_source(session.models.get(name), name))
+    for test in papertests.all_tests():
+        reports.append(lint_litmus_report(test))
+    for seed in example_seeds():
+        reports.append(lint_litmus_report(seed))
+    return reports
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Static analysis over models and tests (exit 1 on errors)."""
+    session = Session()
+    if args.targets:
+        reports = [_lint_target(session, spec) for spec in args.targets]
+    else:
+        reports = _lint_corpus(session)
+    errors = sum(len(r.errors) for r in reports)
+    warnings = sum(len(r.warnings) for r in reports)
+    if args.json:
+        print(json.dumps([r.as_dict() for r in reports], indent=2))
+    else:
+        for report in reports:
+            for d in report.diagnostics:
+                print(d.render(report.target))
+        print(
+            f"{len(reports)} target(s) linted: {errors} error(s), "
+            f"{warnings} warning(s)"
+        )
+    if errors or (args.strict and warnings):
+        return 1
+    return 0
+
+
 def _print_inventory(args: argparse.Namespace, registry) -> int:
     if getattr(args, "json", False):
         print(json.dumps(registry.metadata(), indent=2, sort_keys=True))
@@ -559,6 +638,23 @@ def build_parser() -> argparse.ArgumentParser:
                           action="store_false")
     campaign.set_defaults(func=_cmd_campaign)
 
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis over cat models and litmus tests",
+        description="Run catlint/litmuslint over the named targets "
+        "(model names, .cat or litmus files, paper tests, diy shapes); "
+        "with no targets, sweep every in-tree model, paper test and "
+        "hunt seed. Exits 1 on error-severity findings.",
+    )
+    lint.add_argument("targets", nargs="*",
+                      help="models, files, paper tests or shapes "
+                      "(default: the whole in-tree corpus)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit reports as JSON")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit 1 on warnings too")
+    lint.set_defaults(func=_cmd_lint)
+
     models = sub.add_parser("models", help="list memory models")
     models.add_argument("--json", action="store_true",
                         help="registry metadata (names, aliases, docs)")
@@ -580,7 +676,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ParseError as exc:
+        # uniform file:line:col rendering for bad input files
+        print(exc.render(), file=sys.stderr)
+        return 2
+    except LintError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

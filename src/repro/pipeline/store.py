@@ -20,7 +20,7 @@ from __future__ import annotations
 import json
 import os
 import threading
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 #: bump when the record layout changes incompatibly; loaders skip records
 #: from other schemas instead of mis-replaying them.

@@ -8,7 +8,7 @@ disassemble it to the numeric text listing ``s2l`` will parse.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 from ..compiler.backends import compile_program

@@ -24,11 +24,11 @@ list, with diy-style names (``LB004``).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..core.events import MemoryOrder
-from ..core.litmus import And, Condition, LocEq, Prop, RegEq, conj
+from ..core.litmus import Condition, LocEq, Prop, RegEq, conj
 from ..core.registry import Registry
 from ..lang.ast import (
     AtomicLoad,

@@ -19,8 +19,8 @@ outcome acceptable — the paper ignores such false positives.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Set, Tuple
 
 from ..core.execution import Outcome
 from ..herd.simulator import SimulationResult

@@ -253,8 +253,14 @@ def iter_mutants(
     global :data:`MUTATIONS`); unknown names raise the registry's
     did-you-mean error *before* any mutant is built.  Mutants that do not
     change the test's content (the operator reproduced the input) are
-    filtered out; the caller deduplicates across seeds by digest.
+    filtered out, as are mutants that fail the litmuslint safety
+    precheck (:func:`repro.analysis.check_mutant`) — an operator that
+    disconnects the condition from the program would otherwise burn
+    simulation budget on a vacuous test.  The caller deduplicates across
+    seeds by digest.
     """
+    from ..analysis import check_mutant
+
     reg = registry if registry is not None else MUTATIONS
     names = tuple(operators) if operators is not None else DEFAULT_OPERATORS
     ops = [(reg.resolve(name), reg.get(name)) for name in names]
@@ -264,6 +270,8 @@ def iter_mutants(
             digest = mutated.digest()
             if digest == seed_digest:
                 continue
+            if check_mutant(mutated):
+                continue  # ill-formed mutant: refuse the site
             named = replace(mutated, name=mutant_name(litmus, canonical, digest))
             yield Mutation(
                 litmus=named, operator=canonical, site=site,

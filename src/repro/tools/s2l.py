@@ -23,13 +23,13 @@ Three stages, mirroring §III-B/§III-D/§IV-E of the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..asm.isa.base import Instruction, Isa, Op, get_isa
+from ..asm.isa.base import Instruction, Op, get_isa
 from ..asm.litmus import AsmLitmus, AsmThread
 from ..compiler.disasm import strip_listing
-from ..compiler.objfile import ObjectFile, STACK_BASE
+from ..compiler.objfile import ObjectFile
 from ..core.errors import MappingError
 from ..core.litmus import Condition
 

@@ -1,0 +1,646 @@
+"""Tests for repro.analysis: diagnostics, catlint, litmuslint, and the
+registration / engine / CLI wiring.
+
+Structure:
+
+* golden tests — every in-tree model, paper test and hunt seed lints
+  clean (the CI gate);
+* negative fixtures — one per diagnostic code, asserting code, severity
+  and span;
+* wiring — Session registration raises, campaign plans refuse bad
+  corpora, mutation operators refuse ill-formed mutants, and the
+  ``telechat lint`` command round-trips.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import papertests
+from repro.analysis import (
+    CODES,
+    Diagnostic,
+    Kind,
+    LintReport,
+    Severity,
+    builtin_kinds,
+    check_mutant,
+    diag,
+    lint_c_source,
+    lint_cat_source,
+    lint_litmus,
+    lint_litmus_report,
+    severity_of_code,
+)
+from repro.api import CampaignPlan, Session
+from repro.api.plan import PlanError
+from repro.cat.parser import parse
+from repro.cat.registry import MODELS, get_source, list_models, register_model_source
+from repro.core.errors import LintError, ParseError
+from repro.core.litmus import Condition, TrueProp
+from repro.core.span import Span
+from repro.hunt.seeds import example_seeds
+from repro.lang.ast import CLitmus
+from repro.lang.parser import parse_c_litmus
+from repro.pipeline.cli import main
+
+
+def cat_codes(source: str) -> list:
+    return [d.code for d in lint_cat_source(source, "t.cat").diagnostics]
+
+
+def cat_diag(source: str, code: str) -> Diagnostic:
+    matches = [
+        d for d in lint_cat_source(source, "t.cat").diagnostics if d.code == code
+    ]
+    assert matches, f"expected {code}, got {cat_codes(source)}"
+    return matches[0]
+
+
+def lit_diag(source: str, code: str) -> Diagnostic:
+    report = lint_c_source(source, "t.litmus")
+    matches = [d for d in report.diagnostics if d.code == code]
+    codes = [d.code for d in report.diagnostics]
+    assert matches, f"expected {code}, got {codes}"
+    return matches[0]
+
+
+# --------------------------------------------------------------------------- #
+# diagnostics framework
+# --------------------------------------------------------------------------- #
+class TestDiagnostics:
+    def test_severity_encoded_in_code(self):
+        assert severity_of_code("CAT001") is Severity.ERROR
+        assert severity_of_code("CAT101") is Severity.WARNING
+        assert severity_of_code("LIT002") is Severity.ERROR
+        assert severity_of_code("LIT105") is Severity.WARNING
+        with pytest.raises(KeyError):
+            severity_of_code("XYZ999")
+
+    def test_every_code_catalogued(self):
+        for code in CODES:
+            assert len(code) == 6
+            assert code[:3] in ("CAT", "LIT")
+            severity_of_code(code)  # must not raise
+
+    def test_render_with_span(self):
+        d = diag("CAT002", "undefined name 'x'", Span.at(3, 7, 1), "m.cat")
+        assert d.render() == "m.cat:3:7: error CAT002: undefined name 'x'"
+        assert d.render("other") .startswith("other:3:7:")
+
+    def test_render_without_span(self):
+        d = diag("LIT104", "nothing observed")
+        assert d.render("t") == "t:0: warning LIT104: nothing observed"
+
+    def test_as_dict(self):
+        d = diag("CAT101", "shadowed", Span.at(2, 5), "m")
+        payload = d.as_dict()
+        assert payload["code"] == "CAT101"
+        assert payload["severity"] == "warning"
+        assert payload["line"] == 2 and payload["column"] == 5
+
+    def test_report_partitions(self):
+        report = LintReport(
+            "t", "cat",
+            (diag("CAT002", "e"), diag("CAT102", "w")),
+        )
+        assert not report.ok
+        assert [d.code for d in report.errors] == ["CAT002"]
+        assert [d.code for d in report.warnings] == ["CAT102"]
+        assert LintReport("t", "cat").ok
+        assert "clean" in LintReport("t", "cat").render()
+
+
+# --------------------------------------------------------------------------- #
+# golden: the whole in-tree corpus lints clean
+# --------------------------------------------------------------------------- #
+class TestCorpusClean:
+    @pytest.mark.parametrize("name", list_models())
+    def test_model_clean(self, name):
+        report = lint_cat_source(get_source(name), name)
+        assert report.diagnostics == (), report.render()
+
+    @pytest.mark.parametrize("factory", papertests.PAPER_TESTS)
+    def test_paper_test_clean(self, factory):
+        report = lint_litmus_report(getattr(papertests, factory)())
+        assert report.diagnostics == (), report.render()
+
+    def test_hunt_seeds_clean(self):
+        for seed in example_seeds():
+            report = lint_litmus_report(seed)
+            assert report.diagnostics == (), report.render()
+
+    def test_all_tests_helper_covers_factories(self):
+        assert len(papertests.all_tests()) == len(papertests.PAPER_TESTS)
+
+
+# --------------------------------------------------------------------------- #
+# catlint negative fixtures — one per code
+# --------------------------------------------------------------------------- #
+class TestCatlintCodes:
+    def test_cat000_parse_error(self):
+        report = lint_cat_source("let = po", "t.cat")
+        (d,) = report.diagnostics
+        assert d.code == "CAT000" and d.severity is Severity.ERROR
+        assert d.span is not None and d.span.line == 1
+
+    def test_cat001_bracket_on_relation(self):
+        d = cat_diag("t\nacyclic [po] as c", "CAT001")
+        assert d.severity is Severity.ERROR
+        assert (d.span.line, d.span.column) == (2, 9)
+
+    def test_cat002_undefined_name(self):
+        d = cat_diag("t\nacyclic nosuchrel as c", "CAT002")
+        assert d.severity is Severity.ERROR
+        assert (d.span.line, d.span.column) == (2, 9)
+
+    def test_cat003_cartesian_on_relation(self):
+        d = cat_diag("t\nacyclic (po * W) as c", "CAT003")
+        assert d.severity is Severity.ERROR
+        assert d.span.line == 2 and d.span.column == 13  # the * token
+
+    def test_cat004_unknown_builtin(self):
+        d = cat_diag("t\nacyclic mystery(po) as c", "CAT004")
+        assert d.severity is Severity.ERROR
+        assert (d.span.line, d.span.column) == (2, 9)
+
+    def test_cat005_builtin_arity(self):
+        d = cat_diag("t\nempty domain(rf, co) as c", "CAT005")
+        assert d.severity is Severity.ERROR
+        assert (d.span.line, d.span.column) == (2, 7)
+
+    def test_cat006_set_builtin_on_relation(self):
+        d = cat_diag("t\nacyclic toid(po) as c", "CAT006")
+        assert d.severity is Severity.ERROR
+        assert (d.span.line, d.span.column) == (2, 9)
+
+    def test_cat007_non_monotone_rec(self):
+        src = "t\nlet rec r = po \\ r\nacyclic r as c"
+        d = cat_diag(src, "CAT007")
+        assert d.severity is Severity.ERROR
+        assert (d.span.line, d.span.column) == (2, 18)  # the rec name use
+
+    def test_cat007_complement_flips_polarity(self):
+        src = "t\nlet rec r = po ; ~r\nacyclic r as c"
+        assert "CAT007" in cat_codes(src)
+        # double negation is positive again
+        src2 = "t\nlet rec r = po ; ~(~r)\nacyclic r as c"
+        assert "CAT007" not in cat_codes(src2)
+
+    def test_cat007_monotone_rec_is_clean(self):
+        src = "t\nlet rec r = po | (r ; r)\nacyclic r as c"
+        assert "CAT007" not in cat_codes(src)
+
+    def test_cat008_unsatisfiable_check(self):
+        d = cat_diag("t\n~empty 0 as c", "CAT008")
+        assert d.severity is Severity.ERROR
+        assert d.span.line == 2
+
+    def test_cat101_shadows_builtin(self):
+        d = cat_diag("t\nlet po = rf\nacyclic po as c", "CAT101")
+        assert d.severity is Severity.WARNING
+        assert (d.span.line, d.span.column) == (2, 5)
+
+    def test_cat101_shadows_earlier_binding(self):
+        src = "t\nlet a = po\nlet a = rf\nacyclic a as c"
+        d = cat_diag(src, "CAT101")
+        assert d.span.line == 3
+        assert "earlier binding" in d.message
+
+    def test_cat102_unused_binding(self):
+        d = cat_diag("t\nlet dead = po\nacyclic po as c", "CAT102")
+        assert d.severity is Severity.WARNING
+        assert (d.span.line, d.span.column) == (2, 5)
+
+    def test_cat102_show_counts_as_use(self):
+        src = "t\nlet shown = po\nshow shown\nacyclic po as c"
+        assert "CAT102" not in cat_codes(src)
+
+    def test_cat103_set_coerced(self):
+        d = cat_diag("t\nacyclic (W ; po) as c", "CAT103")
+        assert d.severity is Severity.WARNING
+        assert d.span.line == 2
+        assert "CAT103" in cat_codes("t\nacyclic W^+ as c")
+
+    def test_cat104_mixed_union(self):
+        d = cat_diag("t\nacyclic (W | po) as c", "CAT104")
+        assert d.severity is Severity.WARNING
+        assert d.span.line == 2 and d.span.column == 12  # the | token
+
+    def test_cat105_duplicate_check_name(self):
+        src = "t\nacyclic po as c\nacyclic rf as c"
+        d = cat_diag(src, "CAT105")
+        assert d.severity is Severity.WARNING
+        assert d.span.line == 3
+
+    def test_cat106_trivially_true_check(self):
+        d = cat_diag("t\nempty 0 as c", "CAT106")
+        assert d.severity is Severity.WARNING
+        assert d.span.line == 2
+
+    def test_set_difference_stays_set(self):
+        # the aarch64 regression: R \ NORET is a set, [R \ NORET] is fine
+        src = "t\nlet RR = R \\ NORET\nacyclic ([RR] ; po) as c"
+        assert cat_codes(src) == []
+
+
+# --------------------------------------------------------------------------- #
+# litmuslint negative fixtures — one per code
+# --------------------------------------------------------------------------- #
+GOOD_HEADER = """C t
+{ x = 0; y = 0; }
+void P0(atomic_int* x, atomic_int* y) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+  atomic_store_explicit(y, 1, memory_order_relaxed);
+}
+void P1(atomic_int* x, atomic_int* y) {
+  int r0 = atomic_load_explicit(y, memory_order_relaxed);
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+}
+"""
+
+
+class TestLitmuslintCodes:
+    def test_clean_lb(self):
+        report = lint_c_source(GOOD_HEADER + "exists (P0:r0=1 /\\ P1:r0=1)\n")
+        assert report.diagnostics == (), report.render()
+
+    def test_lit000_parse_error(self):
+        report = lint_c_source("C broken\n{ x = }\n", "b.litmus")
+        (d,) = report.diagnostics
+        assert d.code == "LIT000" and d.severity is Severity.ERROR
+
+    def test_lit001_unassigned_register(self):
+        src = GOOD_HEADER + "exists (P0:r9=1)\n"
+        d = lit_diag(src, "LIT001")
+        assert d.severity is Severity.ERROR
+        assert d.span.line == 11
+        assert d.span.column == src.splitlines()[10].index("P0:r9") + 1
+
+    def test_lit001_unknown_thread(self):
+        d = lit_diag(GOOD_HEADER + "exists (P7:r0=1)\n", "LIT001")
+        assert "no thread" in d.message
+
+    def test_lit002_unknown_location(self):
+        d = lit_diag(GOOD_HEADER + "exists (z=1)\n", "LIT002")
+        assert d.severity is Severity.ERROR
+        assert d.span.line == 11
+
+    def test_lit003_bad_thread_name(self):
+        src = """C t
+{ x = 0; }
+void Q0(atomic_int* x) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+}
+exists (x=1)
+"""
+        d = lit_diag(src, "LIT003")
+        assert d.severity is Severity.ERROR
+        assert (d.span.line, d.span.column) == (3, 6)
+
+    def test_lit003_duplicate_thread_name(self):
+        src = """C t
+{ x = 0; }
+void P0(atomic_int* x) { atomic_store_explicit(x, 1, memory_order_relaxed); }
+void P0(atomic_int* x) { atomic_store_explicit(x, 2, memory_order_relaxed); }
+exists (x=1)
+"""
+        d = lit_diag(src, "LIT003")
+        assert "duplicate" in d.message
+
+    def test_lit101_condition_loc_missing_from_init(self):
+        src = """C t
+{ x = 0; }
+void P0(atomic_int* x, atomic_int* y) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+  atomic_store_explicit(y, 1, memory_order_relaxed);
+}
+exists (P0:r0=1 /\\ y=1)
+"""
+        d = lit_diag(src, "LIT101")
+        assert d.severity is Severity.WARNING
+        assert d.span.line == 7
+
+    def test_lit102_dead_init_var(self):
+        src = """C t
+{ x = 0; dead = 7; }
+void P0(atomic_int* x) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+}
+exists (P0:r0=1)
+"""
+        d = lit_diag(src, "LIT102")
+        assert d.severity is Severity.WARNING
+        assert (d.span.line, d.span.column) == (2, 10)
+
+    def test_lit103_inert_thread(self):
+        src = """C t
+{ x = 0; }
+void P0(atomic_int* x) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+}
+void P1(atomic_int* x) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+}
+exists (x=1)
+"""
+        d = lit_diag(src, "LIT103")
+        assert d.severity is Severity.WARNING
+        assert (d.span.line, d.span.column) == (6, 6)
+
+    def test_lit104_condition_observes_nothing(self):
+        litmus = CLitmus(
+            name="t",
+            init={"x": 0},
+            condition=Condition("exists", TrueProp()),
+            threads=(),
+        )
+        codes = [d.code for d in lint_litmus(litmus)]
+        assert "LIT104" in codes
+
+    def test_lit105_location_outside_init(self):
+        src = """C t
+{ x = 0; }
+void P0(atomic_int* x, atomic_int* y) {
+  atomic_store_explicit(y, 1, memory_order_relaxed);
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+}
+exists (x=1)
+"""
+        d = lit_diag(src, "LIT105")
+        assert d.severity is Severity.WARNING
+        assert (d.span.line, d.span.column) == (3, 6)
+
+    def test_programmatic_lint_has_no_spans(self):
+        litmus = parse_c_litmus(GOOD_HEADER + "exists (P0:r9=1)\n", "t")
+        (d,) = [x for x in lint_litmus(litmus) if x.code == "LIT001"]
+        assert d.span is None
+
+    def test_rmw_counts_as_write_and_read(self):
+        src = """C t
+{ x = 0; }
+void P0(atomic_int* x) {
+  int r0 = atomic_fetch_add_explicit(x, 1, memory_order_relaxed);
+}
+exists (P0:r0=0)
+"""
+        assert lint_c_source(src).diagnostics == ()
+
+
+# --------------------------------------------------------------------------- #
+# sort table stays in sync with the runtime
+# --------------------------------------------------------------------------- #
+class TestBuiltinKinds:
+    def test_dynamic_relations_present(self):
+        kinds = builtin_kinds()
+        for name in ("rf", "co", "fr", "rfe", "fri"):
+            assert kinds[name] is Kind.REL
+
+    def test_matches_static_env(self):
+        from repro.cat.stdlib import build_static_env
+        from repro.core.relations import Relation
+
+        env = build_static_env((), Relation.empty()).env
+        kinds = builtin_kinds()
+        for name, value in env.bindings.items():
+            expected = Kind.REL if isinstance(value, Relation) else Kind.SET
+            assert kinds[name] is expected, name
+
+    def test_core_sorts(self):
+        kinds = builtin_kinds()
+        assert kinds["W"] is Kind.SET
+        assert kinds["po"] is Kind.REL
+        assert kinds["loc"] is Kind.REL
+        assert kinds["SC"] is Kind.SET
+
+
+# --------------------------------------------------------------------------- #
+# spans on the cat AST / ParseError rendering (satellites 1+2)
+# --------------------------------------------------------------------------- #
+class TestSpans:
+    def test_parser_attaches_spans(self):
+        model = parse('"m"\nlet a = po ; rf\nacyclic a as c\n')
+        let, check = model.statements
+        assert let.span.line == 2 and let.span.column == 1
+        assert let.binding_spans[0].line == 2
+        assert let.binding_spans[0].column == 5
+        seq = let.bindings[0][1]
+        assert seq.span.column == 12  # the ; operator
+        assert check.span.line == 3
+
+    def test_spans_ignored_by_equality(self):
+        a = parse("m\nlet a = po\nacyclic a as c")
+        b = parse("m\n\n\nlet a =   po\nacyclic a   as c")
+        assert a.statements[0].bindings == b.statements[0].bindings
+
+    def test_parse_error_at_eof_has_position(self):
+        with pytest.raises(ParseError) as exc_info:
+            parse("m\nlet a =")
+        exc = exc_info.value
+        assert exc.line == 2
+        assert exc.column == 8  # just past '='
+
+    def test_parse_error_render(self):
+        try:
+            parse("m\nlet a = ;", source_name="bad.cat")
+        except ParseError as exc:
+            rendered = exc.render()
+            assert rendered.startswith("bad.cat:2:9:")
+            assert "let a = ;" in rendered  # the snippet line
+            assert rendered.splitlines()[-1].rstrip().endswith("^")
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+    def test_parse_error_legacy_str(self):
+        with pytest.raises(ParseError, match="at line 2, column 9"):
+            parse("m\nlet a = ;")
+
+    def test_c_parse_error_carries_source(self):
+        try:
+            parse_c_litmus("C t\n{ x = }\n", "b.litmus")
+        except ParseError as exc:
+            assert exc.source_name == "b.litmus"
+            assert exc.snippet
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+
+# --------------------------------------------------------------------------- #
+# wiring: registry, session, engine, mutation
+# --------------------------------------------------------------------------- #
+BAD_REC_MODEL = "badrec\nlet rec grows = po | (po \\ grows)\nacyclic grows as main\n"
+WARN_MODEL = "warny\nlet unused_here = po\nacyclic po as main\n"
+
+BAD_SEED_SOURCE = """C badseed
+{ x = 0; }
+void P0(atomic_int* x) { atomic_store_explicit(x, 1, memory_order_relaxed); }
+void P1(atomic_int* x) { int r0 = atomic_load_explicit(x, memory_order_relaxed); }
+exists (P1:r9=1)
+"""
+
+
+class TestWiring:
+    def test_register_model_source_raises(self):
+        overlay = MODELS.overlay()
+        with pytest.raises(LintError) as exc_info:
+            register_model_source("badrec", BAD_REC_MODEL, registry=overlay)
+        assert [d.code for d in exc_info.value.diagnostics] == ["CAT007"]
+        from repro.core.errors import ModelError
+
+        with pytest.raises(ModelError):
+            overlay.resolve("badrec")  # nothing landed in the registry
+
+    def test_register_model_source_validate_false(self):
+        overlay = MODELS.overlay()
+        register_model_source("badrec", BAD_REC_MODEL, registry=overlay,
+                              validate=False)
+        assert overlay.get("badrec") == BAD_REC_MODEL
+
+    def test_session_register_model_raises(self):
+        session = Session()
+        with pytest.raises(LintError):
+            session.register_model("badrec", BAD_REC_MODEL)
+
+    def test_session_register_model_collects_warnings(self):
+        session = Session()
+        session.register_model("warny", WARN_MODEL)
+        assert [d.code for d in session.lint_warnings] == ["CAT102"]
+        assert session.model("warny") is not None
+
+    def test_session_register_model_lint_false(self):
+        session = Session()
+        session.register_model("badrec", BAD_REC_MODEL, lint=False)
+        assert session.models.get("badrec") == BAD_REC_MODEL
+
+    def test_session_lint_targets(self):
+        session = Session()
+        report = session.lint("rc11")[0]
+        assert report.ok and report.kind == "cat"
+        litmus = parse_c_litmus(BAD_SEED_SOURCE, "badseed")
+        report = session.lint(litmus)[0]
+        assert not report.ok and report.kind == "litmus"
+
+    def test_session_lint_default_sweeps_models(self):
+        session = Session()
+        reports = session.lint()
+        assert len(reports) == len(session.models.names())
+        assert all(r.ok for r in reports)
+
+    def test_campaign_plan_refuses_bad_test(self):
+        session = Session()
+        bad = parse_c_litmus(BAD_SEED_SOURCE, "badseed")
+        plan = CampaignPlan(tests=(bad,), arches=("aarch64",),
+                            opts=("-O2",), compilers=("llvm",))
+        with pytest.raises(PlanError) as exc_info:
+            session.campaign(plan)
+        assert [d.code for d in exc_info.value.diagnostics] == ["LIT001"]
+
+    def test_campaign_plan_lint_false_escape(self):
+        session = Session()
+        bad = parse_c_litmus(BAD_SEED_SOURCE, "badseed")
+        plan = CampaignPlan(tests=(bad,), arches=("aarch64",),
+                            opts=("-O2",), compilers=("llvm",), lint=False)
+        session.campaign(plan)  # constructs without raising
+
+    def test_hunt_refuses_bad_seed(self):
+        session = Session()
+        bad = parse_c_litmus(BAD_SEED_SOURCE, "badseed")
+        plan = CampaignPlan(tests=(bad,), mode="hunt",
+                            arches=("aarch64",), opts=("-O2",),
+                            compilers=("llvm",))
+        with pytest.raises(PlanError, match="failed static analysis"):
+            session.hunt(plan)
+
+    def test_plan_describe_has_lint(self):
+        assert CampaignPlan().describe()["lint"] is True
+
+    def test_mutation_precheck_refuses_ill_formed(self):
+        from dataclasses import replace
+
+        from repro.tools.mutate import MUTATIONS, iter_mutants
+
+        def breaking_operator(litmus):
+            # rename every thread's observed register away: the mutant's
+            # condition now reads registers nothing assigns
+            broken = replace(
+                litmus,
+                threads=tuple(
+                    replace(t, body=()) for t in litmus.threads
+                ),
+            )
+            yield broken, "gut-all-threads"
+
+        overlay = MUTATIONS.overlay()
+        overlay.register("gut", breaking_operator)
+        seed = papertests.fig7_lb()
+        mutants = list(iter_mutants(seed, operators=("gut",), registry=overlay))
+        assert mutants == []  # every mutant refused by the precheck
+        assert check_mutant(replace(seed, threads=tuple(
+            replace(t, body=()) for t in seed.threads
+        )))
+
+    def test_mutation_precheck_keeps_well_formed(self):
+        from repro.tools.mutate import iter_mutants
+
+        mutants = list(iter_mutants(papertests.sb_sc()))
+        assert mutants  # weaken operators produce valid mutants
+        for mutation in mutants:
+            assert check_mutant(mutation.litmus) == []
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+class TestLintCli:
+    def test_corpus_sweep_clean(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_bad_cat_file_flagged_with_span(self, tmp_path, capsys):
+        path = tmp_path / "nonmono.cat"
+        path.write_text(BAD_REC_MODEL)
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert f"{path}:2:28: error CAT007" in out
+
+    def test_bad_litmus_file_flagged_with_span(self, tmp_path, capsys):
+        path = tmp_path / "bad.litmus"
+        path.write_text(BAD_SEED_SOURCE)
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert f"{path}:5:9: error LIT001" in out
+
+    def test_model_name_target(self, capsys):
+        assert main(["lint", "rc11", "fig7_lb"]) == 0
+        assert "2 target(s)" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = tmp_path / "bad.litmus"
+        path.write_text(BAD_SEED_SOURCE)
+        assert main(["lint", "--json", str(path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["ok"] is False
+        codes = {d["code"] for d in payload[0]["diagnostics"]}
+        assert "LIT001" in codes
+
+    def test_strict_fails_on_warnings(self, tmp_path, capsys):
+        path = tmp_path / "warn.cat"
+        path.write_text(WARN_MODEL)
+        assert main(["lint", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--strict", str(path)]) == 1
+
+    def test_unknown_target(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "no-such-target-anywhere"])
+
+    def test_parse_error_rendered_uniformly(self, tmp_path, capsys):
+        path = tmp_path / "broken.litmus"
+        path.write_text("C t\n{ x = }\n")
+        assert main(["test", str(path), "--arch", "aarch64"]) == 2
+        err = capsys.readouterr().err
+        assert f"{path}:2:" in err

@@ -1,6 +1,6 @@
 """Documentation snippets are tests: execute every fenced ``python``
-block of README.md and docs/cookbook.md (the tier-1 face of the
-``make docs-check`` CI job, sharing scripts/check_docs.py)."""
+block of README.md, docs/cookbook.md and docs/analysis.md (the tier-1
+face of the ``make docs-check`` CI job, sharing scripts/check_docs.py)."""
 
 import importlib.util
 import os
@@ -16,7 +16,14 @@ check_docs = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(check_docs)
 
 
-@pytest.mark.parametrize("name", ["README.md", os.path.join("docs", "cookbook.md")])
+@pytest.mark.parametrize(
+    "name",
+    [
+        "README.md",
+        os.path.join("docs", "cookbook.md"),
+        os.path.join("docs", "analysis.md"),
+    ],
+)
 def test_docs_python_blocks_execute(name, capsys):
     path = os.path.join(ROOT, name)
     ran = check_docs.run_file(path)
