@@ -27,11 +27,15 @@ from .events import (
     CampaignFinished,
     CampaignStarted,
     CellFinished,
+    FarmFinished,
+    FarmStarted,
     HuntProgress,
     ShardMerged,
+    SuiteFinished,
     TestReduced,
 )
-from .plan import CampaignPlan, PlanError
+from .farm import iter_farm
+from .plan import CampaignPlan, FarmPlan, PlanError
 from .session import Session
 
 __all__ = [
@@ -41,13 +45,18 @@ __all__ = [
     "CampaignStarted",
     "CampaignStream",
     "CellFinished",
+    "FarmFinished",
+    "FarmPlan",
+    "FarmStarted",
     "HuntProgress",
     "PlanError",
     "Session",
     "ShardMerged",
+    "SuiteFinished",
     "TestReduced",
     "fold_events",
     "iter_campaign",
+    "iter_farm",
     "iter_hunt",
     "iter_sharded",
 ]

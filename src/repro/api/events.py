@@ -218,6 +218,102 @@ class ShardMerged(CampaignEvent):
 
 
 @dataclass(frozen=True)
+class FarmStarted(CampaignEvent):
+    """A regression-farm pass begins: the manifest is loaded and every
+    selected suite's content digest has been re-verified."""
+
+    kind = "farm_started"
+
+    root: str = ""
+    #: suites selected for this pass (after plan filters)
+    suites: Tuple[str, ...] = ()
+    #: (suite, profile, model) baseline cells selected for this pass
+    baselines: int = 0
+    tests_total: int = 0
+    workers: int = 1
+    processes: int = 0
+    bless: bool = False
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "event": self.kind,
+            "root": self.root,
+            "suites": list(self.suites),
+            "baselines": self.baselines,
+            "tests_total": self.tests_total,
+            "workers": self.workers,
+            "processes": self.processes,
+            "bless": self.bless,
+        }
+
+
+@dataclass(frozen=True)
+class SuiteFinished(CampaignEvent):
+    """One (suite, profile, model) baseline cell has run and been diffed
+    against its blessed baseline (or re-blessed)."""
+
+    kind = "suite_finished"
+
+    suite: str = ""
+    profile: str = ""
+    model: str = ""
+    #: tests the suite streamed through the toolchain
+    tests: int = 0
+    #: verdict records produced (error/timeout cells included)
+    records: int = 0
+    #: drifting cells vs the blessed baseline (0 after a bless)
+    drift: int = 0
+    #: per-kind drift tallies (``new-positive``, ``lost-positive``, …)
+    drift_counts: Mapping[str, int] = field(default_factory=dict)
+    #: the human-readable mcompare-style drift report
+    report: str = ""
+    #: True when this pass re-blessed the baseline file
+    blessed: bool = False
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "event": self.kind,
+            "suite": self.suite,
+            "profile": self.profile,
+            "model": self.model,
+            "tests": self.tests,
+            "records": self.records,
+            "drift": self.drift,
+            "drift_counts": dict(self.drift_counts),
+            "report": self.report,
+            "blessed": self.blessed,
+        }
+
+
+@dataclass(frozen=True)
+class FarmFinished(CampaignEvent):
+    """End of a farm pass: the totals drift decisions key off."""
+
+    kind = "farm_finished"
+
+    #: baseline cells run
+    baselines: int = 0
+    #: toolchain cells evaluated across every suite
+    cells: int = 0
+    #: total drifting cells (a non-bless run with ``drift > 0`` is a
+    #: regression — the CLI exits non-zero on it)
+    drift: int = 0
+    #: baseline files (re-)written by this pass
+    blessed: int = 0
+    elapsed_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "event": self.kind,
+            "baselines": self.baselines,
+            "cells": self.cells,
+            "drift": self.drift,
+            "blessed": self.blessed,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+@dataclass(frozen=True)
 class CampaignFinished(CampaignEvent):
     """End of stream: the aggregates only the whole run can know."""
 

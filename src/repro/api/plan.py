@@ -236,3 +236,70 @@ class CampaignPlan:
             "reduce": self.reduce,
             "lint": self.lint,
         }
+
+
+@dataclass(frozen=True)
+class FarmPlan:
+    """Everything one regression-farm pass needs (see :mod:`repro.api.farm`).
+
+    A farm plan names a *corpus root* (the directory holding
+    ``MANIFEST.json``, suites and blessed baselines) plus optional
+    filters; the manifest — not the plan — decides what tests run under
+    which profiles and models, so the same plan replays any corpus.
+    """
+
+    #: the corpus root directory (must contain ``MANIFEST.json``)
+    root: str = ""
+    #: restrict the pass to these suite names (``None`` = every suite)
+    suites: Optional[Tuple[str, ...]] = None
+    #: restrict to these profile names (``None`` = every blessed profile)
+    profiles: Optional[Tuple[str, ...]] = None
+    #: override the blessed source model — the deliberate-perturbation
+    #: lever (a farm run under a different model *should* drift)
+    source_model: Optional[str] = None
+    #: worker threads / processes, exactly as in :class:`CampaignPlan`
+    workers: int = 1
+    processes: int = 0
+    #: re-bless: write the observed records as the new baselines instead
+    #: of failing on drift
+    bless: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("suites", "profiles"):
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+        if not self.root:
+            raise PlanError("a farm plan needs a corpus root directory")
+        if self.workers < 1:
+            raise PlanError(f"workers must be >= 1, got {self.workers}")
+        if self.processes < 0:
+            raise PlanError(f"processes must be >= 0, got {self.processes}")
+        if self.bless and self.source_model is not None:
+            # blessing under an override would store verdicts the
+            # manifest attributes to a different model — edit the
+            # manifest's model instead, then bless
+            raise PlanError(
+                "cannot bless under a source_model override; change the "
+                "model in MANIFEST.json and bless that"
+            )
+        for name in ("suites", "profiles"):
+            value = getattr(self, name)
+            if value is not None and not value:
+                raise PlanError(
+                    f"empty {name}= filter would run nothing; pass None "
+                    f"to run every blessed {name.rstrip('s')}"
+                )
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "root": self.root,
+            "suites": None if self.suites is None else list(self.suites),
+            "profiles": (
+                None if self.profiles is None else list(self.profiles)
+            ),
+            "source_model": self.source_model,
+            "workers": self.workers,
+            "processes": self.processes,
+            "bless": self.bless,
+        }

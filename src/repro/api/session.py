@@ -47,7 +47,7 @@ from ..tools.diy import SHAPES, Shape
 from ..tools.mutate import MUTATIONS
 from ..tools.sources import TestSource
 from .engine import CampaignStream, iter_campaign, iter_hunt, iter_sharded
-from .plan import CampaignPlan, PlanError
+from .plan import CampaignPlan, FarmPlan, PlanError
 
 
 class Session:
@@ -525,6 +525,28 @@ class Session:
             return result.verdict == "positive"
 
         return reduce_test(litmus, check, max_checks=max_checks)
+
+    def farm(self, plan: Union[FarmPlan, str, "os.PathLike[str]"]):
+        """Run a regression-farm pass over a blessed corpus, streaming
+        typed events (:class:`~repro.api.events.FarmStarted`, pass-through
+        ``CellFinished`` streams, one ``SuiteFinished`` per baseline cell,
+        :class:`~repro.api.events.FarmFinished`).
+
+        ``plan`` is a :class:`~repro.api.plan.FarmPlan` — or just the
+        corpus root directory, for an unfiltered single-threaded pass::
+
+            drift = 0
+            for event in session.farm("tests/corpus"):
+                if event.kind == "farm_finished":
+                    drift = event.drift
+
+        See :mod:`repro.pipeline.farm` for the corpus format and
+        ``telechat farm`` for the CLI."""
+        from .farm import iter_farm
+
+        if not isinstance(plan, FarmPlan):
+            plan = FarmPlan(root=os.fspath(plan))
+        return iter_farm(plan, self)
 
     def campaign_sharded(self, plan: CampaignPlan, shards: int) -> CampaignStream:
         """Run all ``shards`` deterministic shards of ``plan`` through

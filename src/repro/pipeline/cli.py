@@ -44,8 +44,13 @@ from typing import List, Optional
 from ..api import (
     CampaignPlan,
     CellFinished,
+    FarmFinished,
+    FarmPlan,
+    FarmStarted,
     HuntProgress,
+    PlanError,
     Session,
+    SuiteFinished,
     TestReduced,
 )
 from ..cat.registry import MODELS
@@ -209,6 +214,125 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 f"({report.store_hits} replayed, {store.appended} appended)"
             )
     return 0
+
+
+def _cmd_farm_gen(args: argparse.Namespace) -> int:
+    """Generate a farm corpus: suite files + the baseline matrix."""
+    from .farm import DEFAULT_PROFILES, FarmError, generate_corpus
+
+    try:
+        manifest = generate_corpus(
+            args.root,
+            profiles=tuple(args.profiles) if args.profiles else DEFAULT_PROFILES,
+            model=args.cmem,
+        )
+    except FarmError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    for name in sorted(manifest.suites):
+        spec = manifest.suites[name]
+        print(f"suite {name}: {spec.tests} tests -> {spec.file} ({spec.digest})")
+    print(
+        f"{len(manifest.baselines)} baseline cell(s) declared; run "
+        f"'telechat farm bless --root {args.root}' to record them"
+    )
+    return 0
+
+
+def _run_farm(args: argparse.Namespace, bless: bool) -> int:
+    """The shared engine of ``farm run`` and ``farm bless``."""
+    from .farm import FarmError
+
+    store = CampaignStore(args.store) if args.store else None
+    session = Session(store=store)
+    if args.progress is None:
+        progress = sys.stderr.isatty() and not args.json
+    else:
+        progress = args.progress
+
+    drift = 0
+    reports: List[str] = []
+    try:
+        plan = FarmPlan(
+            root=args.root,
+            suites=tuple(args.suites) if args.suites else None,
+            profiles=tuple(args.profiles) if args.profiles else None,
+            source_model=args.cmem,
+            workers=args.workers,
+            processes=args.processes,
+            bless=bless,
+        )
+        for event in session.farm(plan):
+            if args.json:
+                print(json.dumps(event.as_dict(), sort_keys=True))
+            if isinstance(event, FarmStarted):
+                if progress:
+                    print(
+                        f"farm {event.root}: {len(event.suites)} suite(s), "
+                        f"{event.baselines} baseline cell(s), "
+                        f"{event.tests_total} tests",
+                        file=sys.stderr,
+                    )
+            elif isinstance(event, CellFinished):
+                if progress:
+                    origin = " (store)" if event.from_store else ""
+                    print(
+                        f"  {event.test} {event.arch} {event.opt} "
+                        f"{event.compiler}: "
+                        f"{event.verdict or event.status}{origin}",
+                        file=sys.stderr,
+                    )
+            elif isinstance(event, SuiteFinished):
+                reports.append(event.report)
+                if progress:
+                    state = "blessed" if event.blessed else (
+                        f"{event.drift} drifting" if event.drift else "clean"
+                    )
+                    print(
+                        f"{event.suite} @ {event.profile} [{event.model}]: "
+                        f"{event.records} records, {state}",
+                        file=sys.stderr,
+                    )
+            elif isinstance(event, FarmFinished):
+                drift = event.drift
+    except (FarmError, PlanError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if not args.json:
+        for report in reports:
+            print(report)
+    if bless:
+        return 0
+    # unblessed drift gates CI: any divergence from the baselines is a
+    # regression until someone re-blesses it deliberately
+    return 1 if drift else 0
+
+
+def _cmd_farm_run(args: argparse.Namespace) -> int:
+    return _run_farm(args, bless=False)
+
+
+def _cmd_farm_bless(args: argparse.Namespace) -> int:
+    return _run_farm(args, bless=True)
+
+
+def _cmd_farm_diff(args: argparse.Namespace) -> int:
+    """Offline drift diff between two baseline/store JSONL files."""
+    from ..tools.mcompare import diff_baselines
+    from ..tools.sources import SuiteFormatError
+    from .farm import read_baseline
+
+    try:
+        blessed = read_baseline(args.blessed)
+        current = read_baseline(args.current)
+    except (OSError, SuiteFormatError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    diff = diff_baselines(
+        blessed, current, label=f"{args.blessed} vs {args.current}"
+    )
+    print(diff.pretty())
+    return 1 if diff.has_drift else 0
 
 
 def _resolve_seeds(session: Session, specs: List[str]) -> list:
@@ -637,6 +761,73 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--no-progress", dest="progress",
                           action="store_false")
     campaign.set_defaults(func=_cmd_campaign)
+
+    farm = sub.add_parser(
+        "farm",
+        help="corpus-scale golden regression farm (gen/run/bless/diff)",
+        description="Stream a checked-in litmus corpus through the "
+        "toolchain and diff every verdict against blessed baselines. "
+        "'gen' writes the suites and manifest, 'bless' records the "
+        "baselines, 'run' fails (exit 1) on any unblessed drift, and "
+        "'diff' compares two baseline files offline.",
+    )
+    farm_sub = farm.add_subparsers(dest="farm_command", required=True)
+
+    farm_gen = farm_sub.add_parser(
+        "gen", help="generate suite files + MANIFEST.json under --root"
+    )
+    farm_gen.add_argument("--root", required=True,
+                          help="corpus root directory")
+    farm_gen.add_argument("--profiles", nargs="+", metavar="PROFILE",
+                          help="baseline profiles (default: "
+                               "llvm-O2-AArch64 gcc-O1-ARM)")
+    farm_gen.add_argument("--cmem", default="rc11",
+                          help="source model baselines are blessed under")
+    farm_gen.set_defaults(func=_cmd_farm_gen)
+
+    for name, func, blurb in (
+        ("run", _cmd_farm_run,
+         "run the corpus and fail on drift vs the blessed baselines"),
+        ("bless", _cmd_farm_bless,
+         "run the corpus and record the results as the new baselines"),
+    ):
+        farm_cmd = farm_sub.add_parser(name, help=blurb)
+        farm_cmd.add_argument("--root", required=True,
+                              help="corpus root directory (with MANIFEST.json)")
+        farm_cmd.add_argument("--suites", nargs="+", metavar="SUITE",
+                              help="restrict to these suites")
+        farm_cmd.add_argument("--profiles", nargs="+", metavar="PROFILE",
+                              help="restrict to these profiles")
+        if name == "run":
+            farm_cmd.add_argument(
+                "--cmem", default=None,
+                help="override the blessed source model (a deliberate "
+                     "perturbation — expect drift)")
+        else:
+            # blessing under an override would mislabel the baselines
+            farm_cmd.set_defaults(cmem=None)
+        farm_cmd.add_argument("--workers", type=int, default=1,
+                              help="worker threads")
+        farm_cmd.add_argument("--processes", type=int, default=0,
+                              help="worker processes (overrides --workers)")
+        farm_cmd.add_argument("--store", metavar="PATH",
+                              help="persistent verdict store (JSONL, appended)")
+        farm_cmd.add_argument("--json", action="store_true",
+                              help="emit the typed event stream as JSON lines")
+        farm_cmd.add_argument("--progress", dest="progress",
+                              action="store_true", default=None,
+                              help="per-cell progress on stderr (default: "
+                                   "on when stderr is a tty)")
+        farm_cmd.add_argument("--no-progress", dest="progress",
+                              action="store_false")
+        farm_cmd.set_defaults(func=func)
+
+    farm_diff = farm_sub.add_parser(
+        "diff", help="diff two baseline files offline (exit 1 on drift)"
+    )
+    farm_diff.add_argument("blessed", help="the blessed baseline JSONL")
+    farm_diff.add_argument("current", help="the baseline/store JSONL to check")
+    farm_diff.set_defaults(func=_cmd_farm_diff)
 
     lint = sub.add_parser(
         "lint",

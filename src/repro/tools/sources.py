@@ -42,12 +42,68 @@ from __future__ import annotations
 import itertools
 import json
 import os
-from typing import Dict, Iterable, Iterator, Optional, Sequence, Union
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple, Union
 
+from ..core.errors import ReproError
 from ..core.registry import Registry
 from ..lang.ast import CLitmus
 from .diy import DiyConfig, iter_generate
 from .mutate import DEFAULT_OPERATORS, iter_mutants
+
+
+class SuiteFormatError(ReproError, ValueError):
+    """A malformed line in a JSONL suite or baseline file.
+
+    Carries the offending file and 1-based line number — a corpus
+    problem must name where to look, never surface as a bare
+    ``json.JSONDecodeError`` with no file context.  Subclasses
+    :class:`ValueError` so callers that caught the raw decode error's
+    base class keep catching this.
+    """
+
+    def __init__(self, path: str, line: int, message: str) -> None:
+        self.path = path
+        self.line = line
+        self.message = message
+        super().__init__(f"{path}:{line}: {message}")
+
+
+def iter_jsonl(
+    path: Union[str, "os.PathLike[str]"]
+) -> Iterator[Tuple[int, Dict[str, object]]]:
+    """Stream ``(line number, record)`` pairs from a JSONL file.
+
+    The shared reader behind :class:`SuiteSource` and the farm's
+    baseline files, with the :class:`~repro.pipeline.store.CampaignStore`
+    crash-tolerance contract: a torn *final* line (a crashed writer's
+    partial append) is silently skipped, while a malformed line anywhere
+    else — invalid JSON or a non-object — raises
+    :class:`SuiteFormatError` naming the file and line.
+    """
+    fspath = os.fspath(path)
+    #: a decode failure held back until we know whether it was the file's
+    #: last line (torn write, tolerated) or an interior line (corrupt)
+    pending: Optional[Tuple[int, str]] = None
+    with open(fspath, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if pending is not None:
+                raise SuiteFormatError(fspath, pending[0], pending[1])
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                pending = (lineno, f"invalid JSON ({exc.msg})")
+                continue
+            if not isinstance(record, dict):
+                raise SuiteFormatError(
+                    fspath, lineno,
+                    f"expected a JSON object, got {type(record).__name__}",
+                )
+            yield lineno, record
+    # a pending failure on the final line is a torn trailing write —
+    # ignored, exactly like CampaignStore._load
 
 
 class TestSource:
@@ -210,7 +266,12 @@ def write_suite(
 class SuiteSource(TestSource):
     """A JSONL corpus written by :func:`write_suite` (or by hand: any
     JSONL of ``{"source": <C litmus text>}`` objects), parsed lazily —
-    one test per line, only as the iterator advances."""
+    one test per line, only as the iterator advances.
+
+    Robustness contract (shared with the campaign store): a torn final
+    line is skipped, any other malformed line raises
+    :class:`SuiteFormatError` with the file and line number.
+    """
 
     def __init__(self, path: Union[str, "os.PathLike[str]"]) -> None:
         self.path = os.fspath(path)
@@ -218,15 +279,14 @@ class SuiteSource(TestSource):
     def iter_tests(self, shapes: Optional[Registry] = None) -> Iterator[CLitmus]:
         from ..lang.parser import parse_c_litmus
 
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                record = json.loads(line)
-                yield parse_c_litmus(
-                    record["source"], name=str(record.get("name", "test"))
+        for lineno, record in iter_jsonl(self.path):
+            source = record.get("source")
+            if not isinstance(source, str):
+                raise SuiteFormatError(
+                    self.path, lineno,
+                    "suite record has no 'source' litmus text",
                 )
+            yield parse_c_litmus(source, name=str(record.get("name", "test")))
 
     def describe(self) -> Dict[str, object]:
         return {"source": "SuiteSource", "count": None, "path": self.path}
@@ -366,8 +426,10 @@ __all__ = [
     "MutationSource",
     "PaperSource",
     "StoreReplaySource",
+    "SuiteFormatError",
     "SuiteSource",
     "TestSource",
     "as_source",
+    "iter_jsonl",
     "write_suite",
 ]

@@ -241,6 +241,54 @@ class TestParity:
         assert merged.source_simulations == single.source_simulations
 
 
+class TestFarmParity:
+    """Blessing the same mini-corpus on every execution backend must
+    produce byte-identical baseline files — the farm extension of the
+    fold_events parity guarantee (completion order and backend never
+    leak into the blessed bytes)."""
+
+    @pytest.fixture(scope="class")
+    def corpus_template(self, tmp_path_factory):
+        from repro.pipeline.farm import generate_corpus
+
+        root = tmp_path_factory.mktemp("farm-parity") / "corpus"
+        generate_corpus(
+            root,
+            suites={"mini": CONFIG},
+            profiles=("llvm-O2-AArch64", "gcc-O1-ARM"),
+        )
+        return root
+
+    def _bless_bytes(self, corpus_template, tmp_path, **plan_fields):
+        import shutil
+
+        from repro.api import FarmPlan
+
+        root = tmp_path / "corpus"
+        shutil.copytree(corpus_template, root)
+        plan = FarmPlan(root=str(root), bless=True, **plan_fields)
+        for event in Session().farm(plan):
+            pass
+        baseline_dir = root / "baselines"
+        return {
+            path.name: path.read_bytes()
+            for path in sorted(baseline_dir.iterdir())
+        }
+
+    def test_backends_bless_identically(self, corpus_template, tmp_path):
+        serial = self._bless_bytes(corpus_template, tmp_path / "s")
+        threaded = self._bless_bytes(corpus_template, tmp_path / "t",
+                                     workers=4)
+        pooled = self._bless_bytes(corpus_template, tmp_path / "p",
+                                   processes=2)
+        assert set(serial) == {
+            "mini--gcc-O1-ARM--rc11.jsonl",
+            "mini--llvm-O2-AArch64--rc11.jsonl",
+        }
+        assert serial == threaded
+        assert serial == pooled
+
+
 # --------------------------------------------------------------------------- #
 # sessions
 # --------------------------------------------------------------------------- #

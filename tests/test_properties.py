@@ -259,3 +259,71 @@ class TestKernelEquivalence:
                 assert len(maximal) == 1
                 expected = maximal[0].value
                 assert value == (0 if expected is None else expected)
+
+
+class TestSuiteRoundTripProperties:
+    """The farm's corpus contract: dump/load through write_suite →
+    SuiteSource preserves content digests, and sharding the reloaded
+    suite partitions it exactly — for *randomized* shape families, not
+    just the shipped configs."""
+
+    family_strategy = st.builds(
+        lambda shapes, order, dep: [
+            build_test(get_shape(shape), order,
+                       dep=dep if dep != "po" else "po",
+                       fence=None,
+                       name=f"{shape.replace('+', 'p')}{i:03d}")
+            for i, shape in enumerate(shapes)
+        ],
+        shapes=st.lists(st.sampled_from(SHAPES), min_size=1, max_size=6),
+        order=st.sampled_from(ORDERS),
+        dep=st.sampled_from(DEPS),
+    )
+
+    @relaxed_settings
+    @given(family=family_strategy, n=st.integers(min_value=1, max_value=4))
+    def test_round_trip_preserves_digests_under_shard(self, family, n):
+        import tempfile
+
+        from repro.tools.sources import SuiteSource, write_suite
+
+        digests = [t.digest() for t in family]
+        with tempfile.TemporaryDirectory() as tmp:
+            path = f"{tmp}/suite.jsonl"
+            assert write_suite(family, path) == len(family)
+            source = SuiteSource(path)
+            assert [t.digest() for t in source] == digests
+            # the n shards partition the suite exactly, digests intact
+            sharded = [
+                [t.digest() for t in source.shard(k, n)] for k in range(n)
+            ]
+            assert sorted(d for shard in sharded for d in shard) == \
+                   sorted(digests)
+            for k, shard in enumerate(sharded):
+                assert shard == digests[k::n]
+
+    @relaxed_settings
+    @given(family=family_strategy,
+           torn=st.text(alphabet="{\"abc:,", min_size=1, max_size=20))
+    def test_torn_final_line_is_tolerated(self, family, torn):
+        """A crashed writer's partial last line never poisons a suite —
+        the same contract CampaignStore torn lines have."""
+        import json as json_mod
+        import tempfile
+
+        from repro.tools.sources import SuiteSource, write_suite
+
+        try:
+            json_mod.loads(torn)
+            valid = True
+        except ValueError:
+            valid = False
+        if valid:
+            return  # only torn (invalid) tails are interesting
+        with tempfile.TemporaryDirectory() as tmp:
+            path = f"{tmp}/suite.jsonl"
+            write_suite(family, path)
+            with open(path, "a") as handle:
+                handle.write(torn)  # no trailing newline: a torn write
+            reloaded = [t.digest() for t in SuiteSource(path)]
+            assert reloaded == [t.digest() for t in family]

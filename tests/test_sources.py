@@ -15,6 +15,7 @@ from repro.tools.sources import (
     ListSource,
     PaperSource,
     StoreReplaySource,
+    SuiteFormatError,
     SuiteSource,
     TestSource,
     as_source,
@@ -141,6 +142,53 @@ class TestSuiteRoundTrip:
         write_suite(tests, path)
         head = list(itertools.islice(iter(SuiteSource(path)), 2))
         assert len(head) == 2
+
+
+class TestSuiteRobustness:
+    """The CampaignStore crash-tolerance contract, extended to suites:
+    a torn final line is skipped, anything else malformed names the file
+    and line (regression: a bare json.JSONDecodeError told the user
+    nothing about *which* corpus file was broken)."""
+
+    def _suite(self, tmp_path, lines):
+        path = tmp_path / "suite.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        tests = list(DiySource(small_config()))[:3]
+        path = tmp_path / "suite.jsonl"
+        write_suite(tests, path)
+        with open(path, "a") as handle:
+            handle.write('{"name": "torn", "source": "C torn-mid')
+        reloaded = list(SuiteSource(path))
+        assert [t.digest() for t in reloaded] == [t.digest() for t in tests]
+
+    def test_interior_malformed_line_names_file_and_line(self, tmp_path):
+        path = tmp_path / "suite.jsonl"
+        write_suite([build_test(get_shape("LB"), "rlx", name="LB001")], path)
+        with open(path, "a") as handle:
+            handle.write("{not json\n")
+            handle.write('{"name": "ok2", "source": "irrelevant"}\n')
+        with pytest.raises(SuiteFormatError) as excinfo:
+            list(SuiteSource(path))
+        assert excinfo.value.path == str(path)
+        assert excinfo.value.line == 2
+        assert str(path) in str(excinfo.value)
+        assert ":2:" in str(excinfo.value)
+        # and it is still a ValueError, like json.JSONDecodeError was
+        assert isinstance(excinfo.value, ValueError)
+
+    def test_non_object_line_names_file_and_line(self, tmp_path):
+        path = self._suite(tmp_path, ['[1, 2, 3]', '{"source": "x"}'])
+        with pytest.raises(SuiteFormatError, match=":1: expected a JSON "
+                                                  "object"):
+            list(SuiteSource(path))
+
+    def test_record_without_source_names_file_and_line(self, tmp_path):
+        path = self._suite(tmp_path, ['{"name": "missing-body"}'])
+        with pytest.raises(SuiteFormatError, match=":1: .*'source'"):
+            list(SuiteSource(path))
 
 
 class TestStoreReplay:
